@@ -1,0 +1,94 @@
+// Ablation: overhead vs checkpoint interval.
+//
+// The paper varies the interval per application (1-7 minutes) and notes
+// that frequent checkpointing inflates failure-free overhead (and that
+// independent schemes checkpoint "very often" to fight the domino effect,
+// making this worse). We sweep the number of checkpoints in a fixed-length
+// SOR run and report overhead per scheme: it scales linearly with
+// checkpoint count for the write-through schemes and much more slowly for
+// the buffered + staggered one.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace chk::bench {
+namespace {
+
+const std::vector<Scheme>& sweep_schemes() {
+  static const std::vector<Scheme> all{Scheme::kCoordNB, Scheme::kIndep,
+                                       Scheme::kCoordNBMS};
+  return all;
+}
+
+std::map<std::uint32_t, std::map<std::string, double>>& sweep() {
+  static std::map<std::uint32_t, std::map<std::string, double>> map;
+  return map;
+}
+
+void run_point(benchmark::State& state, std::uint32_t checkpoints) {
+  auto& cache = ResultCache::instance();
+  const BenchRow row = harness::find_row("SOR-1024");
+  const auto& normal = cache.normal(row);
+  for (auto _ : state) {
+    for (Scheme scheme : sweep_schemes()) {
+      ExperimentConfig config;
+      config.label = row.label;
+      config.app = row.app;
+      config.scheme = scheme;
+      config.checkpoints = checkpoints;
+      config.interval =
+          des::Duration::seconds(normal.exec_time_s / (checkpoints + 1.0));
+      const auto& result = cache.run(
+          util::format("{}/{}/k{}", row.label, to_string(scheme), checkpoints), config);
+      sweep()[checkpoints][std::string(to_string(scheme))] =
+          result.exec_time_s - normal.exec_time_s;
+    }
+    state.counters["checkpoints"] = checkpoints;
+  }
+}
+
+void register_benchmarks() {
+  for (std::uint32_t k : {1u, 2u, 4u, 6u, 8u, 12u}) {
+    benchmark::RegisterBenchmark(util::format("Interval/ckpts{}", k).c_str(),
+                                 [k](benchmark::State& state) { run_point(state, k); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void print_table() {
+  auto& cache = ResultCache::instance();
+  const auto normal = cache.lookup(cell_key("SOR-1024", Scheme::kNone));
+  util::Table table({"checkpoints", "interval (s)", "Coord_NB (s)", "Indep (s)",
+                     "Coord_NBMS (s)", "NB per ckpt"});
+  for (const auto& [k, by_scheme] : sweep()) {
+    const double interval = normal ? normal->exec_time_s / (k + 1.0) : 0;
+    table.add_row({util::Table::integer(k), util::Table::fixed(interval, 0),
+                   util::Table::fixed(by_scheme.at("Coord_NB"), 2),
+                   util::Table::fixed(by_scheme.at("Indep"), 2),
+                   util::Table::fixed(by_scheme.at("Coord_NBMS"), 2),
+                   util::Table::fixed(by_scheme.at("Coord_NB") / k, 2)});
+  }
+  std::fputs(
+      table.render("Overhead (s) vs checkpoint frequency — SOR-1024, fixed run length")
+          .c_str(),
+      stdout);
+  std::puts("\nOverhead scales with checkpoint count; the per-checkpoint cost is\n"
+            "stable (Table 1's metric), and Coord_NBMS keeps even frequent\n"
+            "checkpointing affordable.");
+}
+
+}  // namespace
+}  // namespace chk::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  chk::bench::register_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  chk::bench::print_table();
+  return 0;
+}

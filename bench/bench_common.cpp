@@ -1,0 +1,62 @@
+#include "bench_common.hpp"
+
+#include "util/format.hpp"
+
+namespace chk::bench {
+
+ResultCache& ResultCache::instance() {
+  static ResultCache cache;
+  return cache;
+}
+
+const ExperimentResult& ResultCache::normal(const BenchRow& row) {
+  const std::string key = cell_key(row.label, Scheme::kNone);
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  ExperimentConfig config;
+  config.label = row.label;
+  config.app = row.app;
+  return cache_.emplace(key, harness::run_normal(config)).first->second;
+}
+
+const ExperimentResult& ResultCache::run(const std::string& key,
+                                         const ExperimentConfig& config) {
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  return cache_.emplace(key, harness::run_experiment(config)).first->second;
+}
+
+std::optional<ExperimentResult> ResultCache::lookup(const std::string& key) const {
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string cell_key(const std::string& label, Scheme scheme) {
+  return util::format("{}/{}", label, to_string(scheme));
+}
+
+void set_common_counters(benchmark::State& state, const ExperimentResult& result,
+                         const ExperimentResult& normal) {
+  state.counters["sim_exec_s"] = result.exec_time_s;
+  state.counters["overhead_s"] = result.exec_time_s - normal.exec_time_s;
+  state.counters["overhead_pct"] =
+      (result.exec_time_s / normal.exec_time_s - 1.0) * 100.0;
+  state.counters["ctrl_msgs"] = static_cast<double>(result.control_messages);
+  state.counters["ckpt_MiB"] = static_cast<double>(result.bytes_written) / (1 << 20);
+  state.counters["blocked_s"] = result.app_blocked_s;
+  state.counters["disk_wait_s"] = result.disk_wait_s;
+}
+
+const std::vector<Scheme>& table1_schemes() {
+  static const std::vector<Scheme> schemes{Scheme::kCoordNB, Scheme::kIndep,
+                                           Scheme::kCoordNBM, Scheme::kIndepM,
+                                           Scheme::kCoordNBMS};
+  return schemes;
+}
+
+const std::vector<Scheme>& table23_schemes() {
+  static const std::vector<Scheme> schemes{Scheme::kCoordNB, Scheme::kIndep,
+                                           Scheme::kCoordNBMS, Scheme::kIndepM};
+  return schemes;
+}
+
+}  // namespace chk::bench

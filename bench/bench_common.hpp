@@ -1,0 +1,58 @@
+// Shared infrastructure for the paper-table benchmark binaries.
+//
+// Each binary registers one google-benchmark entry per (row, scheme) cell;
+// a cell's benchmark runs the full simulated experiment once (the measured
+// wall time is the simulator's own performance) and stores the simulated
+// metrics both as benchmark counters and in a process-wide cache. After
+// RunSpecifiedBenchmarks, main() prints the reconstructed paper table from
+// the cache.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "harness/catalog.hpp"
+#include "harness/experiment.hpp"
+#include "util/table.hpp"
+
+namespace chk::bench {
+
+using harness::BenchRow;
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::Scheme;
+
+/// Process-wide experiment cache: normal baselines are shared between
+/// cells, and the end-of-run table printer reads finished cells.
+class ResultCache {
+ public:
+  static ResultCache& instance();
+
+  /// Run (or fetch) the no-checkpointing baseline for a row.
+  const ExperimentResult& normal(const BenchRow& row);
+
+  /// Run (or fetch) an arbitrary experiment, keyed by label+scheme+tag.
+  const ExperimentResult& run(const std::string& key, const ExperimentConfig& config);
+
+  [[nodiscard]] std::optional<ExperimentResult> lookup(const std::string& key) const;
+
+ private:
+  std::map<std::string, ExperimentResult> cache_;
+};
+
+/// Key helpers.
+[[nodiscard]] std::string cell_key(const std::string& label, Scheme scheme);
+
+/// Attach the standard simulated metrics to a benchmark's counters.
+void set_common_counters(benchmark::State& state, const ExperimentResult& result,
+                         const ExperimentResult& normal);
+
+/// The scheme columns of Table 1 (paper order).
+[[nodiscard]] const std::vector<Scheme>& table1_schemes();
+/// The scheme columns of Tables 2 and 3 (paper order).
+[[nodiscard]] const std::vector<Scheme>& table23_schemes();
+
+}  // namespace chk::bench

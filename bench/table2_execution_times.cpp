@@ -1,0 +1,94 @@
+// Table 2 of the paper: execution times of the checkpointing schemes.
+//
+// SOR and ISING run 100 iterations, NBODY simulates 10 steps (as in the
+// paper); every application is checkpointed 3 times during its execution,
+// with a per-application interval (the paper used 1-7 minutes; here the
+// interval is a quarter of the failure-free execution time so three
+// checkpoints always fit, and is printed alongside, as in the paper).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace chk::bench {
+namespace {
+
+ExperimentConfig cell_config(const BenchRow& row, Scheme scheme, double normal_exec_s) {
+  ExperimentConfig config;
+  config.label = row.label;
+  config.app = row.app;
+  config.scheme = scheme;
+  config.checkpoints = 3;
+  config.interval = des::Duration::seconds(normal_exec_s / 4.0);
+  return config;
+}
+
+void run_cell(benchmark::State& state, const BenchRow& row, Scheme scheme) {
+  auto& cache = ResultCache::instance();
+  const auto& normal = cache.normal(row);
+  for (auto _ : state) {
+    const auto& result =
+        cache.run(cell_key(row.label, scheme), cell_config(row, scheme, normal.exec_time_s));
+    set_common_counters(state, result, normal);
+  }
+}
+
+void register_benchmarks() {
+  for (const auto& row : harness::table23_rows()) {
+    benchmark::RegisterBenchmark(
+        util::format("Table2/{}/NORMAL", row.label).c_str(),
+        [row](benchmark::State& state) {
+          for (auto _ : state) {
+            const auto& normal = ResultCache::instance().normal(row);
+            state.counters["sim_exec_s"] = normal.exec_time_s;
+          }
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    for (Scheme scheme : table23_schemes()) {
+      benchmark::RegisterBenchmark(
+          util::format("Table2/{}/{}", row.label, to_string(scheme)).c_str(),
+          [row, scheme](benchmark::State& state) { run_cell(state, row, scheme); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void print_table() {
+  auto& cache = ResultCache::instance();
+  util::Table table({"", "Interval (s)", "NORMAL", "COORD NB", "INDEP", "COORD NBMS",
+                     "INDEP M"});
+  for (const auto& row : harness::table23_rows()) {
+    const auto normal = cache.lookup(cell_key(row.label, Scheme::kNone));
+    std::vector<std::string> cells{row.label};
+    if (normal) {
+      cells.push_back(util::Table::fixed(normal->exec_time_s / 4.0, 0));
+      cells.push_back(util::Table::fixed(normal->exec_time_s, 1));
+    } else {
+      cells.insert(cells.end(), {"-", "-"});
+    }
+    for (Scheme scheme : table23_schemes()) {
+      const auto result = cache.lookup(cell_key(row.label, scheme));
+      cells.push_back(result ? util::Table::fixed(result->exec_time_s, 1) : "-");
+    }
+    table.add_row(std::move(cells));
+  }
+  std::fputs(table.render(
+                 "Table 2: execution times (seconds), 3 checkpoints per run, 8 nodes")
+                 .c_str(),
+             stdout);
+}
+
+}  // namespace
+}  // namespace chk::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  chk::bench::register_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  chk::bench::print_table();
+  return 0;
+}

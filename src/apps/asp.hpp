@@ -1,0 +1,29 @@
+// ASP: all-pairs shortest paths by Floyd's algorithm on a dense random
+// digraph with N nodes; block-row decomposition. Iteration k broadcasts
+// row k from its owner, then every rank relaxes its own rows.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+
+namespace chk::apps {
+
+struct AspParams {
+  std::size_t n = 256;
+  std::int32_t max_weight = 100;
+};
+
+/// Work per matrix cell per iteration (add + compare + select).
+inline constexpr double kAspFlopsPerCell = 2.0;
+
+[[nodiscard]] AppFn make_asp(AspParams params);
+
+/// Sequential Floyd on the same generated graph; exact integer match.
+[[nodiscard]] double asp_reference_digest(const AspParams& params);
+
+/// The deterministic edge weight generator shared by both versions.
+[[nodiscard]] std::int32_t asp_edge_weight(std::size_t i, std::size_t j,
+                                           std::int32_t max_weight);
+
+}  // namespace chk::apps

@@ -1,0 +1,59 @@
+// Shared helpers for the application benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "chklib/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace chk::apps {
+
+using chklib::AppContext;
+using chklib::AppFn;
+using chklib::Rank;
+
+/// Contiguous block partition of [0, total) into `parts` pieces; the first
+/// (total % parts) pieces get one extra element.
+struct Block {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+[[nodiscard]] constexpr Block block_range(std::size_t total, std::size_t parts,
+                                          std::size_t index) noexcept {
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  const std::size_t begin = index * base + (index < extra ? index : extra);
+  const std::size_t size = base + (index < extra ? 1 : 0);
+  return Block{begin, begin + size};
+}
+
+/// Rank owning global row `row` under block partitioning.
+[[nodiscard]] constexpr std::size_t block_owner(std::size_t total, std::size_t parts,
+                                                std::size_t row) noexcept {
+  for (std::size_t p = 0; p < parts; ++p) {
+    const Block b = block_range(total, parts, p);
+    if (row >= b.begin && row < b.end) return p;
+  }
+  return parts - 1;
+}
+
+/// Deterministic stateless hash -> double in [0, 1). Used to generate
+/// identical input data on every rank without communication.
+[[nodiscard]] inline double hash_unit(std::uint64_t key) noexcept {
+  std::uint64_t state = key * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+  const std::uint64_t bits = util::splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic stateless hash -> integer in [lo, hi].
+[[nodiscard]] inline std::int64_t hash_int(std::uint64_t key, std::int64_t lo,
+                                           std::int64_t hi) noexcept {
+  std::uint64_t state = key * 0xbf58476d1ce4e5b9ull + 17;
+  const std::uint64_t bits = util::splitmix64(state);
+  return lo + static_cast<std::int64_t>(bits % static_cast<std::uint64_t>(hi - lo + 1));
+}
+
+}  // namespace chk::apps

@@ -1,0 +1,26 @@
+// GAUSS: solves a dense diagonally-dominant linear system A x = b by
+// Gaussian elimination (no pivoting needed) with cyclic row distribution:
+// iteration k broadcasts the pivot row from its owner and every rank
+// eliminates its rows below k; back substitution then broadcasts each x_k
+// in reverse order.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+
+namespace chk::apps {
+
+struct GaussParams {
+  std::size_t n = 256;
+};
+
+/// Work per eliminated element (multiply + subtract).
+inline constexpr double kGaussFlopsPerElement = 2.0;
+
+[[nodiscard]] AppFn make_gauss(GaussParams params);
+
+/// Sequential elimination + substitution; exact match (same arithmetic).
+[[nodiscard]] double gauss_reference_digest(const GaussParams& params);
+
+}  // namespace chk::apps

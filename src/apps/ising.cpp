@@ -1,0 +1,121 @@
+#include "apps/ising.hpp"
+
+#include <cmath>
+
+namespace chk::apps {
+
+namespace {
+
+constexpr int kTagUp = 1;
+constexpr int kTagDown = 2;
+
+// A spin glass: quenched Gaussian couplings on every lattice bond. The
+// coupling arrays are part of the process state (CHK-LIB checkpoints the
+// application's data), which makes ISING checkpoints substantial — as on
+// the paper's 4 MB nodes.
+struct IsingState {
+  std::uint32_t iter = 0;
+  util::Rng rng;
+  std::vector<std::int8_t> spins;  ///< (rows + 2) x n with periodic halos
+  std::vector<float> j_right;      ///< bond (i,j)-(i,j+1), rows x n
+  std::vector<float> j_down;       ///< bond (i,j)-(i+1,j), (rows + 1) x n (one halo row above)
+};
+
+/// Deterministic coupling for the bond identified by (global row, col, dir).
+float coupling(std::size_t n, std::size_t row, std::size_t col, int dir, bool glass) {
+  if (!glass) return 1.0f;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(dir) << 60) ^ (row * n + col) * 2654435761ull;
+  return static_cast<float>(2.0 * hash_unit(key) - 1.0);
+}
+
+}  // namespace
+
+AppFn make_ising(IsingParams params) {
+  return [params](AppContext& ctx) {
+    const std::size_t n = params.n;
+    const std::size_t nprocs = ctx.nprocs();
+    const Block block = block_range(n, nprocs, ctx.rank());
+    const std::size_t rows = block.size();
+
+    auto& st = ctx.state<IsingState>();
+    if (ctx.fresh()) {
+      st.iter = 0;
+      st.rng = util::Rng(params.seed).fork(ctx.rank());
+      st.spins.assign((rows + 2) * n, 0);
+      for (std::size_t i = 1; i <= rows; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          st.spins[i * n + j] = st.rng.bernoulli(0.5) ? 1 : -1;
+        }
+      }
+      st.j_right.resize(rows * n);
+      st.j_down.resize((rows + 1) * n);
+      for (std::size_t i = 0; i < rows; ++i) {
+        const std::size_t global = block.begin + i;
+        for (std::size_t j = 0; j < n; ++j) {
+          st.j_right[i * n + j] = coupling(n, global, j, 0, params.glass);
+          // j_down row i+1 is the bond below local row i; row 0 is the bond
+          // above our first row (owned by the neighbour's last row).
+          st.j_down[(i + 1) * n + j] = coupling(n, global, j, 1, params.glass);
+        }
+      }
+      const std::size_t above = (block.begin + n - 1) % n;  // periodic
+      for (std::size_t j = 0; j < n; ++j) {
+        st.j_down[j] = coupling(n, above, j, 1, params.glass);
+      }
+    }
+    ctx.register_value("iter", st.iter);
+    ctx.register_value("rng", st.rng);
+    ctx.register_vector("spins", st.spins);
+    ctx.register_vector("j_right", st.j_right);
+    ctx.register_vector("j_down", st.j_down);
+    ctx.ready();
+
+    auto spin = [&](std::size_t i, std::size_t j) -> std::int8_t& {
+      return st.spins[i * n + j];
+    };
+
+    const Rank up = (ctx.rank() + nprocs - 1) % nprocs;
+    const Rank down = (ctx.rank() + 1) % nprocs;
+
+    for (; st.iter < params.sweeps; ++st.iter) {
+      ctx.checkpoint_here();
+      // Periodic halo exchange (ring).
+      ctx.send_span<std::int8_t>(up, kTagUp, std::span<const std::int8_t>(&spin(1, 0), n));
+      ctx.send_span<std::int8_t>(down, kTagDown,
+                                 std::span<const std::int8_t>(&spin(rows, 0), n));
+      const auto top = ctx.recv_vector<std::int8_t>(static_cast<int>(up), kTagDown);
+      const auto bottom = ctx.recv_vector<std::int8_t>(static_cast<int>(down), kTagUp);
+      for (std::size_t j = 0; j < n; ++j) {
+        spin(0, j) = top[j];
+        spin(rows + 1, j) = bottom[j];
+      }
+
+      ctx.compute(static_cast<double>(rows * n) * kIsingFlopsPerSite);
+      for (std::size_t i = 1; i <= rows; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::size_t left = j == 0 ? n - 1 : j - 1;
+          const std::size_t right = j + 1 == n ? 0 : j + 1;
+          const float field = st.j_down[(i - 1) * n + j] * static_cast<float>(spin(i - 1, j)) +
+                              st.j_down[i * n + j] * static_cast<float>(spin(i + 1, j)) +
+                              st.j_right[(i - 1) * n + left] * static_cast<float>(spin(i, left)) +
+                              st.j_right[(i - 1) * n + j] * static_cast<float>(spin(i, right));
+          const double delta = 2.0 * static_cast<double>(spin(i, j)) * static_cast<double>(field);
+          if (delta <= 0.0 || st.rng.uniform() < std::exp(-params.beta * delta)) {
+            spin(i, j) = static_cast<std::int8_t>(-spin(i, j));
+          }
+        }
+      }
+    }
+
+    // Magnetization: integer, hence order-independent under reduction.
+    double partial = 0.0;
+    for (std::size_t i = 1; i <= rows; ++i) {
+      for (std::size_t j = 0; j < n; ++j) partial += spin(i, j);
+    }
+    const double digest = ctx.allreduce_sum(partial);
+    if (ctx.rank() == 0) ctx.report_result(digest);
+  };
+}
+
+}  // namespace chk::apps

@@ -1,0 +1,28 @@
+// ISING: Metropolis Monte-Carlo simulation of a 2D spin glass on an n x n
+// periodic lattice, block-row decomposition with halo exchange per sweep.
+// The per-rank RNG is part of the registered state so rollbacks replay the
+// exact same trajectory.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+
+namespace chk::apps {
+
+struct IsingParams {
+  std::size_t n = 512;
+  std::uint32_t sweeps = 100;
+  double beta = 0.4407;  ///< inverse temperature (near-critical)
+  std::uint64_t seed = 424242;
+  /// true: quenched Gaussian couplings (spin glass, as in the paper);
+  /// false: uniform ferromagnet (useful for physics sanity tests).
+  bool glass = true;
+};
+
+/// Work per lattice site per sweep (4 coupling products, dE, accept test).
+inline constexpr double kIsingFlopsPerSite = 22.0;
+
+[[nodiscard]] AppFn make_ising(IsingParams params);
+
+}  // namespace chk::apps

@@ -1,0 +1,30 @@
+// NBODY: direct-summation gravitational N-body simulation. Bodies are
+// block-distributed; each timestep pipelines every block around a ring so
+// all ranks accumulate forces from all bodies, then integrates (leapfrog).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+
+namespace chk::apps {
+
+struct NbodyParams {
+  std::size_t bodies = 2048;
+  std::uint32_t steps = 10;
+  double dt = 1e-3;
+  double softening = 1e-2;
+};
+
+/// Work per interacting pair (distance, inverse-law, accumulate).
+inline constexpr double kNbodyFlopsPerPair = 22.0;
+/// Work per body per integration step.
+inline constexpr double kNbodyFlopsPerBody = 12.0;
+
+[[nodiscard]] AppFn make_nbody(NbodyParams params);
+
+/// Sequential reference with the same block-ordered force accumulation as
+/// the P-rank parallel run (bit-exact for matching nprocs).
+[[nodiscard]] double nbody_reference_digest(const NbodyParams& params, std::size_t nprocs);
+
+}  // namespace chk::apps

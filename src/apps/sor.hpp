@@ -1,0 +1,27 @@
+// SOR: successive over-relaxation solving Laplace's equation on a regular
+// n x n grid (weighted-Jacobi form), block-row decomposition with halo
+// exchange between vertical neighbours each iteration.
+#pragma once
+
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace chk::apps {
+
+struct SorParams {
+  std::size_t n = 512;          ///< grid dimension
+  std::uint32_t iterations = 100;
+  double omega = 0.8;           ///< relaxation weight
+  double top_boundary = 100.0;  ///< fixed temperature on the top edge
+};
+
+/// Work per interior point per iteration (adds + multiplies).
+inline constexpr double kSorFlopsPerPoint = 6.0;
+
+[[nodiscard]] AppFn make_sor(SorParams params);
+
+/// Sequential reference: same arithmetic, same result bit-for-bit.
+[[nodiscard]] double sor_reference_digest(const SorParams& params);
+
+}  // namespace chk::apps

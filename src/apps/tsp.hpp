@@ -1,0 +1,29 @@
+// TSP: branch-and-bound over a dense symmetric map. Rank 0 is the job
+// master handing out fixed tour prefixes on request; workers run
+// depth-first branch-and-bound on the suffix, pruning with their local
+// best, and the global optimum is combined by a min-reduction at the end.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+
+namespace chk::apps {
+
+struct TspParams {
+  std::size_t cities = 14;   ///< the paper used a dense 16-city map; 14 keeps
+                             ///< the explored tree tractable for repeated runs
+  std::int32_t max_distance = 100;
+  double flops_per_node = 40.0;  ///< modelled cost per explored search node
+};
+
+[[nodiscard]] AppFn make_tsp(TspParams params);
+
+/// Sequential branch-and-bound optimum (schedule independent).
+[[nodiscard]] double tsp_reference_digest(const TspParams& params);
+
+/// Deterministic symmetric distance between two cities.
+[[nodiscard]] std::int32_t tsp_distance(std::size_t a, std::size_t b,
+                                        std::int32_t max_distance);
+
+}  // namespace chk::apps

@@ -1,0 +1,83 @@
+#include "chklib/ckpt/image.hpp"
+
+namespace chk::chklib {
+
+namespace {
+constexpr std::uint32_t kImageMagic = 0x43484b31;  // "CHK1"
+constexpr std::uint32_t kLogMagic = 0x43484c31;    // "CHL1"
+}  // namespace
+
+std::vector<std::byte> CheckpointImage::serialize() const {
+  util::ByteWriter writer;
+  writer.put(kImageMagic);
+  writer.put<std::uint64_t>(rank);
+  writer.put(index);
+  writer.put(captured_at_ns);
+  writer.put(delta_base);
+  writer.put_vector(state);
+  writer.put_vector(seq.send_next);
+  writer.put_vector(seq.consumed_upto);
+  writer.put_vector(seq.consumed_extra);
+  writer.put_vector(sends);
+  writer.put_vector(recvs);
+  writer.put_bytes(sent_log.serialize());
+  return writer.take();
+}
+
+CheckpointImage CheckpointImage::deserialize(std::span<const std::byte> blob) {
+  util::ByteReader reader(blob);
+  if (reader.get<std::uint32_t>() != kImageMagic) {
+    throw util::SerializeError("CheckpointImage: bad magic");
+  }
+  CheckpointImage image;
+  image.rank = static_cast<Rank>(reader.get<std::uint64_t>());
+  image.index = reader.get<std::uint32_t>();
+  image.captured_at_ns = reader.get<std::int64_t>();
+  image.delta_base = reader.get<std::uint32_t>();
+  image.state = reader.get_vector<std::byte>();
+  image.seq.send_next = reader.get_vector<ChannelSeqState::RankSeq>();
+  image.seq.consumed_upto = reader.get_vector<ChannelSeqState::RankSeq>();
+  image.seq.consumed_extra = reader.get_vector<ChannelSeqState::RankSeq>();
+  image.sends = reader.get_vector<SendRecord>();
+  image.recvs = reader.get_vector<RecvRecord>();
+  image.sent_log = ChannelLog::deserialize(reader.get_bytes_view());
+  return image;
+}
+
+std::vector<std::byte> ChannelLog::serialize() const {
+  util::ByteWriter writer;
+  writer.put(kLogMagic);
+  writer.put<std::uint64_t>(messages.size());
+  for (const auto& env : messages) {
+    writer.put<std::uint64_t>(env.src);
+    writer.put<std::uint64_t>(env.dst);
+    writer.put<std::int32_t>(env.tag);
+    writer.put(env.epoch);
+    writer.put(env.seq);
+    writer.put_vector(env.payload);
+  }
+  return writer.take();
+}
+
+ChannelLog ChannelLog::deserialize(std::span<const std::byte> blob) {
+  util::ByteReader reader(blob);
+  if (reader.get<std::uint32_t>() != kLogMagic) {
+    throw util::SerializeError("ChannelLog: bad magic");
+  }
+  ChannelLog log;
+  const auto count = reader.get<std::uint64_t>();
+  log.messages.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Envelope env;
+    env.src = static_cast<Rank>(reader.get<std::uint64_t>());
+    env.dst = static_cast<Rank>(reader.get<std::uint64_t>());
+    env.tag = reader.get<std::int32_t>();
+    env.epoch = reader.get<std::uint32_t>();
+    env.seq = reader.get<std::uint64_t>();
+    env.payload = reader.get_vector<std::byte>();
+    log.messages.push_back(std::move(env));
+  }
+  return log;
+}
+
+}  // namespace chk::chklib

@@ -1,0 +1,57 @@
+#include "chklib/ckpt/registry.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/format.hpp"
+
+namespace chk::chklib {
+
+void CheckpointRegistry::register_region(std::string name, std::span<std::byte> bytes) {
+  const bool duplicate = std::any_of(regions_.begin(), regions_.end(),
+                                     [&](const Region& r) { return r.name == name; });
+  if (duplicate) {
+    throw RegistryError(util::format("region '{}' registered twice", name));
+  }
+  regions_.push_back(Region{std::move(name), bytes});
+}
+
+std::size_t CheckpointRegistry::state_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& region : regions_) total += region.bytes.size();
+  return total;
+}
+
+std::vector<std::byte> CheckpointRegistry::capture() const {
+  util::ByteWriter writer;
+  writer.put<std::uint32_t>(static_cast<std::uint32_t>(regions_.size()));
+  for (const auto& region : regions_) {
+    writer.put_string(region.name);
+    writer.put_bytes(region.bytes);
+  }
+  return writer.take();
+}
+
+void CheckpointRegistry::restore(std::span<const std::byte> blob) {
+  util::ByteReader reader(blob);
+  const auto count = reader.get<std::uint32_t>();
+  if (count != regions_.size()) {
+    throw RegistryError(util::format("restore: {} regions captured, {} registered", count,
+                                     regions_.size()));
+  }
+  for (auto& region : regions_) {
+    const std::string name = reader.get_string();
+    const auto bytes = reader.get_bytes_view();
+    if (name != region.name) {
+      throw RegistryError(
+          util::format("restore: region order mismatch ('{}' vs '{}')", name, region.name));
+    }
+    if (bytes.size() != region.bytes.size()) {
+      throw RegistryError(util::format("restore: region '{}' size {} != registered {}", name,
+                                       bytes.size(), region.bytes.size()));
+    }
+    std::memcpy(region.bytes.data(), bytes.data(), bytes.size());
+  }
+}
+
+}  // namespace chk::chklib

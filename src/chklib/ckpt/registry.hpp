@@ -1,0 +1,67 @@
+// Checkpoint registry: the application-visible state description.
+//
+// An application registers the memory regions that constitute its
+// recoverable state (arrays, counters, RNG state). capture() serializes
+// them into a blob; restore() copies a blob back into the same regions,
+// matching by name and size. This mirrors CHK-LIB's user-defined
+// checkpointing interface (the application declares its state; the
+// checkpointer thread saves it).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/serialize.hpp"
+
+namespace chk::chklib {
+
+class RegistryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CheckpointRegistry {
+ public:
+  /// Register a writable region under a unique name. The region must stay
+  /// valid (same address, same size) until clear().
+  void register_region(std::string name, std::span<std::byte> bytes);
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void register_value(std::string name, T& value) {
+    register_region(std::move(name), util::as_writable_bytes_of(value));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void register_vector(std::string name, std::vector<T>& v) {
+    register_region(std::move(name), util::as_writable_bytes_of(v));
+  }
+
+  /// Forget all regions (application restart re-registers).
+  void clear() noexcept { regions_.clear(); }
+
+  [[nodiscard]] std::size_t region_count() const noexcept { return regions_.size(); }
+  /// Total registered state size in bytes (the checkpoint payload size).
+  [[nodiscard]] std::size_t state_bytes() const noexcept;
+
+  /// Serialize all regions.
+  [[nodiscard]] std::vector<std::byte> capture() const;
+
+  /// Copy a captured blob back into the registered regions. Throws
+  /// RegistryError on any name/size mismatch (regions must be registered
+  /// identically across restarts).
+  void restore(std::span<const std::byte> blob);
+
+ private:
+  struct Region {
+    std::string name;
+    std::span<std::byte> bytes;
+  };
+  std::vector<Region> regions_;
+};
+
+}  // namespace chk::chklib

@@ -1,0 +1,108 @@
+#include "chklib/ckpt/store.hpp"
+
+#include "util/format.hpp"
+
+namespace chk::chklib {
+
+std::string CheckpointStore::image_key(Rank rank, std::uint32_t index) {
+  return util::format("ckpt/p{}/v{:08}", rank, index);
+}
+
+std::string CheckpointStore::log_key(Rank rank, std::uint32_t index) {
+  return image_key(rank, index) + ".log";
+}
+
+void CheckpointStore::write_image(Rank rank, const CheckpointImage& image,
+                                  std::function<void()> on_durable) {
+  storage_->write(rank, image_key(rank, image.index), image.serialize(), std::move(on_durable));
+}
+
+void CheckpointStore::write_image_blocking(des::Process& self, Rank rank,
+                                           const CheckpointImage& image) {
+  storage_->write_blocking(self, rank, image_key(rank, image.index), image.serialize());
+}
+
+void CheckpointStore::write_log_blocking(des::Process& self, Rank rank, std::uint32_t index,
+                                         const ChannelLog& log) {
+  storage_->write_blocking(self, rank, log_key(rank, index), log.serialize());
+}
+
+void CheckpointStore::write_commit_blocking(des::Process& self, Rank coordinator_node,
+                                            std::uint32_t epoch) {
+  util::ByteWriter writer;
+  writer.put(epoch);
+  writer.put<std::uint32_t>(~epoch);  // trivial integrity check
+  storage_->write_blocking(self, coordinator_node, "ckpt/commit", writer.take());
+  committed_epoch_ = epoch;
+}
+
+CheckpointImage CheckpointStore::load_image_blocking(des::Process& self, Rank reader,
+                                                     std::uint32_t index) {
+  const auto blob = storage_->read_blocking(self, reader, image_key(reader, index));
+  return CheckpointImage::deserialize(blob);
+}
+
+std::optional<ChannelLog> CheckpointStore::load_log_blocking(des::Process& self, Rank reader,
+                                                             std::uint32_t index) {
+  const std::string key = log_key(reader, index);
+  if (!storage_->exists(key)) return std::nullopt;
+  const auto blob = storage_->read_blocking(self, reader, key);
+  return ChannelLog::deserialize(blob);
+}
+
+bool CheckpointStore::has_image(Rank rank, std::uint32_t index) const {
+  return storage_->exists(image_key(rank, index));
+}
+
+std::vector<std::uint32_t> CheckpointStore::saved_indices(Rank rank) const {
+  std::vector<std::uint32_t> indices;
+  const std::string prefix = util::format("ckpt/p{}/v", rank);
+  for (const auto& key : storage_->keys_with_prefix(prefix)) {
+    if (key.ends_with(".log")) continue;
+    indices.push_back(
+        static_cast<std::uint32_t>(std::stoul(key.substr(prefix.size()))));
+  }
+  return indices;  // map order => ascending
+}
+
+CheckpointImage CheckpointStore::peek_image(Rank rank, std::uint32_t index) const {
+  // Metadata-only access: no timed I/O. Recovery uses load_image_blocking
+  // for the actual state transfer.
+  const std::string key = image_key(rank, index);
+  if (!storage_->exists(key)) {
+    throw util::SerializeError(util::format("peek_image: no image {}", key));
+  }
+  // StableStorage does not expose raw bytes directly; reuse the keyed size
+  // check through read path? The store keeps it simple: the blob is fetched
+  // via the storage's internal map using a zero-time accessor.
+  return CheckpointImage::deserialize(storage_->peek(key));
+}
+
+void CheckpointStore::erase(Rank rank, std::uint32_t index) {
+  storage_->erase(image_key(rank, index));
+  storage_->erase(log_key(rank, index));
+}
+
+std::uint64_t CheckpointStore::bytes_for(Rank rank) const {
+  std::uint64_t total = 0;
+  for (const auto& key : storage_->keys_with_prefix(util::format("ckpt/p{}/", rank))) {
+    total += storage_->size(key);
+  }
+  return total;
+}
+
+std::uint64_t CheckpointStore::total_checkpoint_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& key : storage_->keys_with_prefix("ckpt/")) total += storage_->size(key);
+  return total;
+}
+
+std::size_t CheckpointStore::checkpoint_count() const {
+  std::size_t count = 0;
+  for (const auto& key : storage_->keys_with_prefix("ckpt/p")) {
+    if (!key.ends_with(".log")) ++count;
+  }
+  return count;
+}
+
+}  // namespace chk::chklib

@@ -1,0 +1,61 @@
+// Message envelope carried by the CHK-LIB communication layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xplorer/config.hpp"
+
+namespace chk::chklib {
+
+using Rank = xplorer::NodeId;
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Application message with the protocol metadata the checkpointing
+/// algorithms piggyback on every send.
+struct Envelope {
+  Rank src = 0;
+  Rank dst = 0;
+  int tag = 0;
+  /// Sender's checkpoint epoch (coordinated) or checkpoint interval index
+  /// (independent) at send time.
+  std::uint32_t epoch = 0;
+  /// Recovery incarnation at send time; stale-incarnation messages are
+  /// dropped on arrival (they died with the rolled-back execution).
+  std::uint32_t incarnation = 0;
+  /// Per (src, dst) sequence number for FIFO checking.
+  std::uint64_t seq = 0;
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return payload.size(); }
+};
+
+/// Control-plane messages exchanged by the checkpointing protocols. The
+/// payload meaning depends on kind; all fit in a small fixed struct so the
+/// modelled control traffic is a few dozen bytes per message (the paper's
+/// "synchronization overhead").
+enum class ControlKind : std::uint8_t {
+  kCkptRequest,    ///< coordinator -> all: start checkpoint of `epoch`
+  kChannelMarker,  ///< peer -> peer: no more pre-`epoch` messages from me
+  kCkptAck,        ///< participant -> coordinator: epoch durable here
+  kCommit,         ///< coordinator -> all: epoch committed globally
+  kToken,          ///< stagger ring/arbiter: your turn to write to stable storage
+  kTokenRequest,   ///< writer -> arbiter: request the stagger grant (Indep_MS)
+  kTokenRelease,   ///< writer -> arbiter: done writing, grant the next (Indep_MS)
+};
+
+struct ControlMsg {
+  ControlKind kind = ControlKind::kCkptRequest;
+  Rank src = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t incarnation = 0;
+};
+
+/// Modelled wire size of a control message (header + fields).
+inline constexpr std::size_t kControlWireBytes = 32;
+/// Modelled per-message header overhead for application messages.
+inline constexpr std::size_t kHeaderWireBytes = 24;
+
+}  // namespace chk::chklib

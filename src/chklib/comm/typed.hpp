@@ -1,0 +1,66 @@
+// Typed convenience wrappers over the byte-oriented Endpoint API.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "chklib/comm/endpoint.hpp"
+
+namespace chk::chklib {
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<std::byte> to_bytes(const T& value) {
+  std::vector<std::byte> bytes(sizeof(T));
+  std::memcpy(bytes.data(), &value, sizeof(T));
+  return bytes;
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<std::byte> to_bytes(std::span<const T> values) {
+  std::vector<std::byte> bytes(values.size_bytes());
+  std::memcpy(bytes.data(), values.data(), values.size_bytes());
+  return bytes;
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T from_bytes(std::span<const std::byte> bytes) {
+  T value{};
+  std::memcpy(&value, bytes.data(), sizeof(T));
+  return value;
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> vector_from_bytes(std::span<const std::byte> bytes) {
+  std::vector<T> values(bytes.size() / sizeof(T));
+  std::memcpy(values.data(), bytes.data(), values.size() * sizeof(T));
+  return values;
+}
+
+template <typename T>
+void send_value(Endpoint& ep, des::Process& self, Rank dst, int tag, const T& value) {
+  ep.send(self, dst, tag, to_bytes(value));
+}
+
+template <typename T>
+T recv_value(Endpoint& ep, des::Process& self, int src = kAnySource, int tag = kAnyTag) {
+  return from_bytes<T>(ep.recv(self, src, tag).payload);
+}
+
+template <typename T>
+void send_span(Endpoint& ep, des::Process& self, Rank dst, int tag, std::span<const T> values) {
+  ep.send(self, dst, tag, to_bytes(values));
+}
+
+template <typename T>
+std::vector<T> recv_vector(Endpoint& ep, des::Process& self, int src = kAnySource,
+                           int tag = kAnyTag) {
+  return vector_from_bytes<T>(ep.recv(self, src, tag).payload);
+}
+
+}  // namespace chk::chklib

@@ -1,0 +1,343 @@
+#include "chklib/proto/coordinated.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/format.hpp"
+#include "util/logging.hpp"
+
+namespace chk::chklib {
+
+CoordinatedProtocol::CoordinatedProtocol(Runtime& runtime, Config config)
+    : Protocol(runtime), cfg_(config) {
+  if (!is_coordinated(cfg_.scheme)) {
+    throw des::SimError("CoordinatedProtocol: scheme is not a coordinated variant");
+  }
+  agents_.reserve(rt_->num_ranks());
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    agents_.push_back(std::make_unique<Agent>(rt_->sim()));
+  }
+}
+
+void CoordinatedProtocol::start() {
+  rt_->comm().set_hooks(this);
+  install_safe_points();
+  spawn_daemons();
+  schedule_next_round(cfg_.interval);
+}
+
+void CoordinatedProtocol::install_safe_points() {
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    rt_->rank(r).on_safe_point = [this, r](des::Process& self) { safe_point(r, self); };
+  }
+}
+
+void CoordinatedProtocol::spawn_daemons() {
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    track(rt_->sim().spawn(util::format("chkd-r{}", r), [this, r](des::Process& self) {
+      daemon_main(r, self);
+    }));
+  }
+}
+
+void CoordinatedProtocol::schedule_next_round(des::Duration delay) {
+  const std::uint32_t next_epoch = rt_->store().committed_epoch() + 1;
+  if (cfg_.rounds != 0 && rt_->store().committed_epoch() >= cfg_.rounds) return;
+  track_timer(rt_->sim().schedule_after(delay, [this, next_epoch] { begin_round(next_epoch); }));
+}
+
+void CoordinatedProtocol::begin_round(std::uint32_t epoch) {
+  if (round_in_progress_) return;
+  round_in_progress_ = true;
+  round_epoch_ = epoch;
+  acks_ = 0;
+  CHK_DEBUG("coord", "round {} begins at {}", epoch, rt_->sim().now().str());
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    rt_->comm().send_control(cfg_.coordinator, r,
+                             ControlMsg{ControlKind::kCkptRequest, cfg_.coordinator, epoch, 0});
+  }
+  if (cfg_.scheme == Scheme::kCoordNBMS) {
+    // Inject the stagger token at the head of the virtual ring (the
+    // paper's token protocol; safe here because background writers never
+    // block the applications).
+    rt_->comm().send_control(cfg_.coordinator, 0,
+                             ControlMsg{ControlKind::kToken, cfg_.coordinator, epoch, 0});
+  }
+}
+
+void CoordinatedProtocol::on_send(Rank src, Envelope& env) {
+  env.epoch = agents_[src]->epoch;
+}
+
+void CoordinatedProtocol::on_arrival(Rank dst, const Envelope& env) {
+  // A message from the previous epoch arriving after our cut is in-transit
+  // state of the consistent cut: log it for replay on recovery.
+  Agent& agent = *agents_[dst];
+  if (agent.logging && env.epoch < agent.epoch) agent.log.messages.push_back(env);
+}
+
+void CoordinatedProtocol::on_deliver(des::Process&, Rank, const Envelope&) {
+  // Nothing to do: consuming a post-cut message before our own cut makes
+  // it an orphan of the recovery line, which the restored channel sequence
+  // state neutralizes by dropping the re-sent duplicate (see endpoint.hpp).
+}
+
+void CoordinatedProtocol::daemon_main(Rank r, des::Process& self) {
+  for (;;) {
+    const ControlMsg msg = rt_->comm().endpoint(r).recv_control(self);
+    handle_control(r, self, msg);
+  }
+}
+
+void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const ControlMsg& msg) {
+  Agent& agent = *agents_[r];
+  switch (msg.kind) {
+    case ControlKind::kCkptRequest:
+      agent.pending_epoch = std::max(agent.pending_epoch, msg.epoch);
+      // If the application already finished, any instant is a safe point;
+      // the daemon captures the final state on its behalf.
+      if (rt_->rank(r).app_process == nullptr && agent.pending_epoch > agent.epoch) {
+        do_local_checkpoint(self, r, agent.pending_epoch);
+      }
+      break;
+    case ControlKind::kChannelMarker:
+      // A marker proves the peer checkpointed `epoch`; make sure we will
+      // catch up at our next safe point even if the request is still in
+      // flight.
+      agent.pending_epoch = std::max(agent.pending_epoch, msg.epoch);
+      if (rt_->rank(r).app_process == nullptr && agent.pending_epoch > agent.epoch) {
+        do_local_checkpoint(self, r, agent.pending_epoch);
+      }
+      ++agent.markers[msg.epoch];
+      try_finish(r, self);
+      break;
+    case ControlKind::kToken:
+      agent.token.release();
+      break;
+    case ControlKind::kCkptAck: {
+      if (r != cfg_.coordinator) break;
+      if (!round_in_progress_ || msg.epoch != round_epoch_) break;
+      ++acks_;
+      if (acks_ == rt_->num_ranks()) {
+        // Phase 2: make the global checkpoint permanent, then tell everyone.
+        rt_->store().write_commit_blocking(self, cfg_.coordinator, round_epoch_);
+        ++stats_.committed_rounds;
+        CHK_DEBUG("coord", "epoch {} committed at {}", round_epoch_, rt_->sim().now().str());
+        for (Rank q = 0; q < rt_->num_ranks(); ++q) {
+          rt_->comm().send_control(cfg_.coordinator, q,
+                                   ControlMsg{ControlKind::kCommit, cfg_.coordinator,
+                                              round_epoch_, 0});
+        }
+        round_in_progress_ = false;
+        schedule_next_round(cfg_.interval);
+      }
+      break;
+    }
+    case ControlKind::kCommit:
+      handle_commit(r, msg.epoch);
+      break;
+    case ControlKind::kTokenRequest:
+      // Coord_NBS: FIFO write-grant arbitration at the coordinator. A
+      // fixed ring order would deadlock here — a rank blocked in its
+      // (staggered) write stops sending, which can prevent the ring head
+      // from ever reaching its safe point.
+      if (r != cfg_.coordinator) break;
+      if (grant_held_) {
+        grant_queue_.push_back(msg.src);
+      } else {
+        grant_held_ = true;
+        rt_->comm().send_control(r, msg.src, ControlMsg{ControlKind::kToken, r, msg.epoch, 0});
+      }
+      break;
+    case ControlKind::kTokenRelease:
+      if (r != cfg_.coordinator) break;
+      if (grant_queue_.empty()) {
+        grant_held_ = false;
+      } else {
+        const Rank next = grant_queue_.front();
+        grant_queue_.pop_front();
+        rt_->comm().send_control(r, next, ControlMsg{ControlKind::kToken, r, msg.epoch, 0});
+      }
+      break;
+  }
+}
+
+void CoordinatedProtocol::safe_point(Rank r, des::Process& self) {
+  Agent& agent = *agents_[r];
+  if (agent.pending_epoch > agent.epoch) do_local_checkpoint(self, r, agent.pending_epoch);
+}
+
+void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
+                                              std::uint32_t epoch) {
+  Agent& agent = *agents_[r];
+  if (agent.epoch >= epoch) return;
+  agent.epoch = epoch;  // from here on, sends are tagged `epoch`
+  ++stats_.local_checkpoints;
+
+  Endpoint& endpoint = rt_->comm().endpoint(r);
+  RankRuntime& rank = rt_->rank(r);
+
+  const des::TimePoint block_start = rt_->sim().now();
+  CheckpointImage image;
+  image.rank = r;
+  image.index = epoch;
+  image.captured_at_ns = rt_->sim().now().to_nanos();
+  std::vector<std::byte> full_blob = (rank.ready && !cfg_.ablate_discard_state)
+                                         ? rank.registry.capture()
+                                         : std::vector<std::byte>{};
+  // Incremental mode: epochs off the full-image schedule store only the
+  // chunks dirtied since the previous checkpoint.
+  bool is_delta = false;
+  if (cfg_.incremental && !full_blob.empty() && !is_full_epoch(epoch) &&
+      agent.tracker.has_baseline()) {
+    if (auto delta = agent.tracker.capture_delta(full_blob)) {
+      image.state = delta->serialize();
+      image.delta_base = agent.last_ckpt_epoch;
+      is_delta = true;
+      ++stats_.delta_checkpoints;
+    }
+  }
+  if (!is_delta) {
+    agent.tracker.rebase(full_blob);
+    image.state = std::move(full_blob);
+    image.delta_base = 0;
+  }
+  agent.last_ckpt_epoch = epoch;
+  image.seq = endpoint.seq_snapshot();
+  // Channel state, part 1: pre-cut messages that arrived but were not yet
+  // consumed. Post-cut (epoch >= e) messages are excluded — their senders
+  // regenerate them after a rollback. Part 2 (late messages) accumulates
+  // via on_arrival until the markers close the channels.
+  agent.log.messages = endpoint.pending_snapshot();
+  std::erase_if(agent.log.messages,
+                [epoch](const Envelope& env) { return env.epoch >= epoch; });
+  agent.logging = true;
+  agent.durable = false;
+  agent.finishing = false;
+
+  // Tell every peer that no more pre-`epoch` messages will come from us.
+  for (Rank q = 0; q < rt_->num_ranks(); ++q) {
+    if (q != r) {
+      rt_->comm().send_control(r, q, ControlMsg{ControlKind::kChannelMarker, r, epoch, 0});
+    }
+  }
+
+  if (!is_buffered(cfg_.scheme)) {
+    // Direct write-through: the application carries the whole (contended)
+    // stable-storage write. The staggered ablation (Coord_NBS) serializes
+    // the *blocking* writes through a FIFO grant — which is why the paper
+    // found staggering useless without memory buffering: the stalls simply
+    // queue up instead of overlapping.
+    if (is_staggered(cfg_.scheme)) {
+      rt_->comm().send_control(r, cfg_.coordinator,
+                               ControlMsg{ControlKind::kTokenRequest, r, epoch, 0});
+      agent.token.acquire(carrier);
+    }
+    rt_->store().write_image_blocking(carrier, r, image);
+    if (is_staggered(cfg_.scheme)) {
+      rt_->comm().send_control(r, cfg_.coordinator,
+                               ControlMsg{ControlKind::kTokenRelease, r, epoch, 0});
+    }
+    agent.durable = true;
+    try_finish(r, carrier);
+    stats_.app_blocked += rt_->sim().now() - block_start;
+    return;
+  }
+
+  // Main-memory checkpointing: block only for the local copy, then hand
+  // the image to a checkpointer thread that streams it out.
+  rt_->machine().node(r).mem_copy(carrier, image.state.size());
+  stats_.app_blocked += rt_->sim().now() - block_start;
+  track(rt_->sim().spawn(
+      util::format("ckwr-r{}-e{}", r, epoch),
+      [this, r, image = std::move(image)](des::Process& self) mutable {
+        Agent& a = *agents_[r];
+        if (is_staggered(cfg_.scheme)) a.token.acquire(self);
+        xplorer::Node& node = rt_->machine().node(r);
+        node.begin_background_io();
+        rt_->store().write_image_blocking(self, r, image);
+        node.end_background_io();
+        if (is_staggered(cfg_.scheme) && r + 1 < rt_->num_ranks()) {
+          rt_->comm().send_control(r, r + 1,
+                                   ControlMsg{ControlKind::kToken, r, image.index, 0});
+        }
+        a.durable = true;
+        try_finish(r, self);
+      }));
+}
+
+void CoordinatedProtocol::try_finish(Rank r, des::Process& proc) {
+  Agent& agent = *agents_[r];
+  if (!agent.logging || agent.finishing || !agent.durable) return;
+  const std::size_t needed = rt_->num_ranks() - 1;
+  std::size_t have = 0;
+  if (const auto it = agent.markers.find(agent.epoch); it != agent.markers.end()) {
+    have = it->second;
+  }
+  if (have != needed) return;
+  agent.finishing = true;
+  agent.logging = false;
+  if (!agent.log.messages.empty()) {
+    rt_->store().write_log_blocking(proc, r, agent.epoch, agent.log);
+  }
+  rt_->comm().send_control(r, cfg_.coordinator,
+                           ControlMsg{ControlKind::kCkptAck, r, agent.epoch, 0});
+}
+
+void CoordinatedProtocol::handle_commit(Rank r, std::uint32_t epoch) {
+  // Constant storage footprint: everything older than the committed
+  // checkpoint's delta chain is obsolete. Without incremental mode the
+  // chain is the single image itself.
+  std::uint32_t chain_start = epoch;
+  if (cfg_.incremental) {
+    while (chain_start != 0 && rt_->store().has_image(r, chain_start)) {
+      const std::uint32_t base = rt_->store().peek_image(r, chain_start).delta_base;
+      if (base == 0) break;
+      chain_start = base;
+    }
+  }
+  for (std::uint32_t index : rt_->store().saved_indices(r)) {
+    if (index < chain_start) {
+      rt_->store().erase(r, index);
+      ++stats_.gc_reclaimed;
+    }
+  }
+}
+
+RecoveryLine CoordinatedProtocol::recovery_line() const {
+  RecoveryLine line;
+  line.index.assign(rt_->num_ranks(), rt_->store().committed_epoch());
+  return line;
+}
+
+void CoordinatedProtocol::prepare_recovery(const RecoveryLine& line) {
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    // Drop tentative (uncommitted) images above the line.
+    for (std::uint32_t index : rt_->store().saved_indices(r)) {
+      if (index > line.index[r]) rt_->store().erase(r, index);
+    }
+    Agent& agent = *agents_[r];
+    agent.epoch = line.index[r];
+    agent.pending_epoch = line.index[r];
+    agent.logging = false;
+    agent.durable = false;
+    agent.finishing = false;
+    agent.log.messages.clear();
+    agent.markers.clear();
+    while (agent.token.try_acquire()) {}
+    agent.tracker.reset();  // next capture is forced full
+    agent.last_ckpt_epoch = line.index[r];
+  }
+  acks_ = 0;
+  round_in_progress_ = false;
+  grant_queue_.clear();
+  grant_held_ = false;
+}
+
+void CoordinatedProtocol::resume_after_recovery() {
+  install_safe_points();
+  spawn_daemons();
+  schedule_next_round(cfg_.interval);
+}
+
+}  // namespace chk::chklib

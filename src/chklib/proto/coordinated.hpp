@@ -1,0 +1,130 @@
+// Coordinated checkpointing (the paper's [11]: Silva & Silva, "Global
+// Checkpointing for Distributed Programs", SRDS'92 — a coordinator-driven
+// two-phase, non-blocking protocol over reliable FIFO channels), adapted
+// to CHK-LIB's user-defined checkpointing model: processes capture at the
+// safe points the application declares (AppContext::checkpoint_here).
+//
+// Round structure for epoch e:
+//   1. The coordinator broadcasts CkptRequest(e) to every node's daemon,
+//      which marks the checkpoint pending; the application takes it at its
+//      next safe point (at most one loop iteration later).
+//   2. The local checkpoint bumps the epoch (subsequent sends are tagged
+//      e), captures the registered state, the channel sequence counters
+//      and the arrived-but-unconsumed pre-e messages, then sends a
+//      ChannelMarker(e) to every peer. The application is blocked for the
+//      scheme's window: the whole stable-storage write (Coord_NB), only a
+//      memory copy (Coord_NBM/NBMS).
+//   3. Pre-e messages arriving after the local cut are appended to the
+//      channel log; markers bound that logging (FIFO channels). Post-e
+//      messages may be consumed before the local cut (the receiver's cut
+//      then simply lies after the consumption): on recovery the restored
+//      sequence state suppresses the re-sent duplicates, so no induced
+//      checkpoints or message holding are needed.
+//   4. Once its state is durable and all markers have arrived, a node
+//      writes its channel log and acks; all N acks make the coordinator
+//      write the commit record and broadcast Commit(e); epoch e-1 is then
+//      discarded (constant storage footprint).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "chklib/ckpt/image.hpp"
+#include "chklib/ckpt/incremental.hpp"
+#include "chklib/proto/protocol.hpp"
+#include "chklib/proto/scheme.hpp"
+#include "des/sync.hpp"
+
+namespace chk::chklib {
+
+class CoordinatedProtocol final : public Protocol {
+ public:
+  struct Config {
+    Scheme scheme = Scheme::kCoordNB;
+    des::Duration interval = des::Duration::secs(60);
+    /// Total global checkpoints to take; 0 = keep going until the run ends.
+    std::uint32_t rounds = 3;
+    Rank coordinator = 0;
+    /// Ablation knob: capture empty state images. The remaining overhead is
+    /// pure protocol synchronization (requests, markers, acks, commit) —
+    /// used to isolate the paper's "sync cost is negligible" claim.
+    bool ablate_discard_state = false;
+    /// Incremental checkpointing (the technique of the paper's related work
+    /// [13]): checkpoints between full ones store only the dirty chunks of
+    /// the registered state; recovery applies the delta chain. Commit-time
+    /// garbage collection keeps the chain back to the last full image.
+    bool incremental = false;
+    /// With incremental on: take a full image every N checkpoints (epoch 1,
+    /// 1+N, ... are full), bounding the recovery chain length.
+    std::uint32_t full_every = 4;
+  };
+
+  CoordinatedProtocol(Runtime& runtime, Config config);
+  ~CoordinatedProtocol() override { halt(); }  // daemons reference *this
+
+  void start() override;
+
+  // ProtocolHooks
+  void on_send(Rank src, Envelope& env) override;
+  void on_arrival(Rank dst, const Envelope& env) override;
+  void on_deliver(des::Process& self, Rank dst, const Envelope& env) override;
+
+  // Recovery
+  [[nodiscard]] RecoveryLine recovery_line() const override;
+  void prepare_recovery(const RecoveryLine& line) override;
+  void resume_after_recovery() override;
+
+  // Introspection (tests)
+  [[nodiscard]] std::uint32_t epoch_of(Rank r) const noexcept { return agents_[r]->epoch; }
+  [[nodiscard]] std::uint32_t pending_epoch_of(Rank r) const noexcept {
+    return agents_[r]->pending_epoch;
+  }
+  [[nodiscard]] std::uint32_t committed_epoch() const noexcept {
+    return rt_->store().committed_epoch();
+  }
+  [[nodiscard]] bool round_in_progress() const noexcept { return round_in_progress_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  struct Agent {
+    explicit Agent(des::Simulator& sim) : token(sim, 0) {}
+    std::uint32_t epoch = 0;          ///< last locally captured epoch
+    std::uint32_t pending_epoch = 0;  ///< requested epoch (capture at next safe point)
+    bool logging = false;             ///< channel log open for `epoch`
+    bool durable = false;             ///< state image on disk
+    bool finishing = false;           ///< log write + ack underway/done
+    ChannelLog log;
+    std::map<std::uint32_t, std::size_t> markers;  ///< markers received per epoch
+    des::SimSemaphore token;          ///< stagger permission to write
+    IncrementalTracker tracker;       ///< dirty-chunk baseline (incremental mode)
+    std::uint32_t last_ckpt_epoch = 0;
+  };
+
+  /// Epochs 1, 1+full_every, ... carry full images in incremental mode.
+  [[nodiscard]] bool is_full_epoch(std::uint32_t epoch) const noexcept {
+    return ((epoch - 1) % cfg_.full_every) == 0;
+  }
+
+  void install_safe_points();
+  void spawn_daemons();
+  void schedule_next_round(des::Duration delay);
+  void begin_round(std::uint32_t epoch);
+  void daemon_main(Rank r, des::Process& self);
+  void handle_control(Rank r, des::Process& self, const ControlMsg& msg);
+  void safe_point(Rank r, des::Process& self);
+  void do_local_checkpoint(des::Process& carrier, Rank r, std::uint32_t epoch);
+  void try_finish(Rank r, des::Process& proc);
+  void handle_commit(Rank r, std::uint32_t epoch);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::uint32_t acks_ = 0;
+  std::uint32_t round_epoch_ = 0;
+  bool round_in_progress_ = false;
+  // Coord_NBS write-grant arbitration (held by the coordinator's daemon).
+  std::deque<Rank> grant_queue_;
+  bool grant_held_ = false;
+};
+
+}  // namespace chk::chklib

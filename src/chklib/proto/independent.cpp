@@ -1,0 +1,250 @@
+#include "chklib/proto/independent.hpp"
+
+#include <utility>
+
+#include "util/format.hpp"
+#include "util/logging.hpp"
+
+namespace chk::chklib {
+
+std::vector<ProcessHistory> collect_histories(const CheckpointStore& store,
+                                              std::size_t num_ranks) {
+  std::vector<ProcessHistory> histories(num_ranks);
+  for (Rank r = 0; r < num_ranks; ++r) {
+    ProcessHistory& history = histories[r];
+    history.rank = r;
+    history.saved = store.saved_indices(r);
+    for (std::uint32_t index : history.saved) {
+      const CheckpointImage image = store.peek_image(r, index);
+      history.sends.insert(history.sends.end(), image.sends.begin(), image.sends.end());
+      history.recvs.insert(history.recvs.end(), image.recvs.begin(), image.recvs.end());
+    }
+  }
+  return histories;
+}
+
+IndependentProtocol::IndependentProtocol(Runtime& runtime, Config config)
+    : Protocol(runtime), cfg_(config) {
+  if (!is_independent(cfg_.scheme)) {
+    throw des::SimError("IndependentProtocol: scheme is not an independent variant");
+  }
+  agents_.reserve(rt_->num_ranks());
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    agents_.push_back(std::make_unique<Agent>(rt_->sim()));
+  }
+}
+
+void IndependentProtocol::start() {
+  rt_->comm().set_hooks(this);
+  install_safe_points();
+  spawn_daemons();
+}
+
+void IndependentProtocol::install_safe_points() {
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    rt_->rank(r).on_safe_point = [this, r](des::Process& self) { safe_point(r, self); };
+  }
+}
+
+void IndependentProtocol::safe_point(Rank r, des::Process& self) {
+  Agent& agent = *agents_[r];
+  if (!agent.pending) return;
+  agent.pending = false;
+  do_local_checkpoint(self, r);
+  agent.captured.release();
+}
+
+void IndependentProtocol::spawn_daemons() {
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    track(rt_->sim().spawn(util::format("ichkd-r{}", r), [this, r](des::Process& self) {
+      timer_main(r, self);
+    }));
+    if (is_staggered(cfg_.scheme)) {
+      track(rt_->sim().spawn(util::format("idisp-r{}", r), [this, r](des::Process& self) {
+        dispatcher_main(r, self);
+      }));
+    }
+  }
+}
+
+void IndependentProtocol::timer_main(Rank r, des::Process& self) {
+  // Deterministic per-rank jitter stream; restarts reproduce the schedule.
+  util::Rng rng = rt_->fork_rng(0x6000 + r).fork(rt_->rank(r).restarts);
+  Agent& agent = *agents_[r];
+  while (cfg_.count == 0 || agent.intervals < cfg_.count) {
+    const double factor = 1.0 + cfg_.jitter * (2.0 * rng.uniform() - 1.0);
+    self.delay(cfg_.interval.scaled(factor));
+    if (rt_->rank(r).app_process == nullptr) {
+      // Application finished: its final state is stable; capture directly.
+      do_local_checkpoint(self, r);
+      continue;
+    }
+    agent.pending = true;
+    agent.captured.acquire(self);  // wait for the safe-point capture
+  }
+}
+
+void IndependentProtocol::dispatcher_main(Rank r, des::Process& self) {
+  for (;;) {
+    const ControlMsg msg = rt_->comm().endpoint(r).recv_control(self);
+    switch (msg.kind) {
+      case ControlKind::kToken:
+        agents_[r]->token.release();
+        break;
+      case ControlKind::kTokenRequest:
+        // Arbiter role: FIFO grant, one writer at a time.
+        if (grant_held_) {
+          grant_queue_.push_back(msg.src);
+        } else {
+          grant_held_ = true;
+          rt_->comm().send_control(r, msg.src, ControlMsg{ControlKind::kToken, r, 0, 0});
+        }
+        break;
+      case ControlKind::kTokenRelease:
+        if (grant_queue_.empty()) {
+          grant_held_ = false;
+        } else {
+          const Rank next = grant_queue_.front();
+          grant_queue_.pop_front();
+          rt_->comm().send_control(r, next, ControlMsg{ControlKind::kToken, r, 0, 0});
+        }
+        break;
+      default:
+        break;  // not ours
+    }
+  }
+}
+
+void IndependentProtocol::on_send(Rank src, Envelope& env) {
+  Agent& agent = *agents_[src];
+  env.epoch = agent.intervals;
+  agent.sends.push_back(SendRecord{env.dst, env.seq, agent.intervals});
+  if (cfg_.message_logging) agent.sent_log.messages.push_back(env);
+}
+
+void IndependentProtocol::on_arrival(Rank, const Envelope&) {}
+
+void IndependentProtocol::on_deliver(des::Process&, Rank dst, const Envelope& env) {
+  Agent& agent = *agents_[dst];
+  agent.recvs.push_back(RecvRecord{env.src, env.seq, env.epoch, agent.intervals});
+}
+
+void IndependentProtocol::do_local_checkpoint(des::Process& carrier, Rank r) {
+  Agent& agent = *agents_[r];
+  const std::uint32_t index = agent.intervals + 1;
+
+  Endpoint& endpoint = rt_->comm().endpoint(r);
+  RankRuntime& rank = rt_->rank(r);
+
+  const des::TimePoint block_start = rt_->sim().now();
+  agent.intervals = index;  // a new interval starts at the cut
+  ++stats_.local_checkpoints;
+  CheckpointImage image;
+  image.rank = r;
+  image.index = index;
+  image.captured_at_ns = rt_->sim().now().to_nanos();
+  image.state = rank.ready ? rank.registry.capture() : std::vector<std::byte>{};
+  image.seq = endpoint.seq_snapshot();
+  image.sends = std::exchange(agent.sends, {});
+  image.recvs = std::exchange(agent.recvs, {});
+  if (cfg_.message_logging) image.sent_log = std::exchange(agent.sent_log, {});
+
+  if (!is_buffered(cfg_.scheme)) {
+    // The application carries its own (blocking) stable-storage write.
+    rt_->store().write_image_blocking(carrier, r, image);
+    stats_.app_blocked += rt_->sim().now() - block_start;
+    on_durable(r);
+    return;
+  }
+
+  rt_->machine().node(r).mem_copy(carrier, image.state.size());
+  stats_.app_blocked += rt_->sim().now() - block_start;
+  track(rt_->sim().spawn(
+      util::format("ickwr-r{}-v{}", r, index),
+      [this, r, image = std::move(image)](des::Process& self) mutable {
+        Agent& a = *agents_[r];
+        if (is_staggered(cfg_.scheme)) {
+          rt_->comm().send_control(r, cfg_.arbiter,
+                                   ControlMsg{ControlKind::kTokenRequest, r, image.index, 0});
+          a.token.acquire(self);
+        }
+        xplorer::Node& node = rt_->machine().node(r);
+        node.begin_background_io();
+        rt_->store().write_image_blocking(self, r, image);
+        node.end_background_io();
+        if (is_staggered(cfg_.scheme)) {
+          rt_->comm().send_control(r, cfg_.arbiter,
+                                   ControlMsg{ControlKind::kTokenRelease, r, image.index, 0});
+        }
+        on_durable(r);
+      }));
+}
+
+void IndependentProtocol::on_durable(Rank) {
+  if (cfg_.gc) run_gc();
+}
+
+std::uint64_t IndependentProtocol::run_gc() {
+  const auto histories = collect_histories(rt_->store(), rt_->num_ranks());
+  // With message logging, older images' sent logs stay replay-relevant for
+  // any send a receiver has not yet covered with a checkpoint: the strict
+  // line is exactly the boundary below which no log can be needed.
+  const LineMode mode = cfg_.message_logging ? LineMode::kStrict : cfg_.gc_mode;
+  const auto result = compute_recovery_line(histories, mode);
+  const auto to_delete = reclaimable(histories, result.line);
+  std::uint64_t reclaimed = 0;
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    for (std::uint32_t index : to_delete[r]) {
+      rt_->store().erase(r, index);
+      ++reclaimed;
+    }
+  }
+  stats_.gc_reclaimed += reclaimed;
+  return reclaimed;
+}
+
+RecoveryLine IndependentProtocol::recovery_line() const {
+  if (cfg_.message_logging) {
+    // With pessimistic sender logging every combination of per-rank cuts is
+    // consistent: orphan consumptions are neutralized by the restored
+    // sequence state (duplicate drop) and lost messages are replayed from
+    // the logs. Recover to the newest checkpoints — no rollback
+    // propagation, no domino.
+    RecoveryLine line;
+    line.index.resize(rt_->num_ranks());
+    for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+      const auto saved = rt_->store().saved_indices(r);
+      line.index[r] = saved.empty() ? 0 : saved.back();
+    }
+    return line;
+  }
+  const auto histories = collect_histories(rt_->store(), rt_->num_ranks());
+  return compute_recovery_line(histories, cfg_.recovery_mode).line;
+}
+
+void IndependentProtocol::prepare_recovery(const RecoveryLine& line) {
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    // Rolled-back checkpoints (and their records) are garbage: the
+    // re-execution will regenerate those intervals.
+    for (std::uint32_t index : rt_->store().saved_indices(r)) {
+      if (index > line.index[r]) rt_->store().erase(r, index);
+    }
+    Agent& agent = *agents_[r];
+    agent.intervals = line.index[r];
+    agent.pending = false;
+    agent.sends.clear();
+    agent.recvs.clear();
+    agent.sent_log.messages.clear();
+    while (agent.token.try_acquire()) {}
+    while (agent.captured.try_acquire()) {}
+  }
+  grant_queue_.clear();
+  grant_held_ = false;
+}
+
+void IndependentProtocol::resume_after_recovery() {
+  install_safe_points();
+  spawn_daemons();
+}
+
+}  // namespace chk::chklib

@@ -1,0 +1,110 @@
+// Independent (uncoordinated) checkpointing.
+//
+// Every node checkpoints at its own pace — a jittered local timer, no
+// synchronization messages at all. Each application message piggybacks the
+// sender's checkpoint-interval index, and the endpoints record send /
+// receive dependency records that are saved with the *next* checkpoint;
+// the recovery-line algorithms (recovery/line.hpp) rebuild a consistent
+// global state from those records after a failure, rolling processes back
+// through the domino effect when necessary. Multiple checkpoints per
+// process accumulate in stable storage; an optional garbage collector
+// reclaims those below the current recovery line (cf. [12]).
+//
+// Indep   = application blocked during its own stable-storage write.
+// Indep_M = main-memory checkpointing (blocked only for the memory copy).
+// Indep_MS (extension) = Indep_M plus stagger arbitration: background
+//          writes acquire a global FIFO grant so only one node streams to
+//          stable storage at a time, without coordinating the checkpoints
+//          themselves.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "chklib/ckpt/image.hpp"
+#include "chklib/proto/protocol.hpp"
+#include "chklib/proto/scheme.hpp"
+#include "chklib/recovery/line.hpp"
+#include "des/sync.hpp"
+#include "util/rng.hpp"
+
+namespace chk::chklib {
+
+/// Build per-rank histories from everything currently in stable storage
+/// (metadata scan; free). Shared by GC and recovery.
+[[nodiscard]] std::vector<ProcessHistory> collect_histories(const CheckpointStore& store,
+                                                            std::size_t num_ranks);
+
+class IndependentProtocol final : public Protocol {
+ public:
+  struct Config {
+    Scheme scheme = Scheme::kIndep;
+    des::Duration interval = des::Duration::secs(60);
+    /// Checkpoints per node; 0 = keep going until the run ends.
+    std::uint32_t count = 3;
+    /// Timer jitter as a fraction of the interval (desynchronizes nodes).
+    double jitter = 0.15;
+    bool gc = false;
+    LineMode gc_mode = LineMode::kStrict;
+    LineMode recovery_mode = LineMode::kStrict;
+    Rank arbiter = 0;  ///< stagger-grant arbiter node (Indep_MS)
+    /// Pessimistic sender-based message logging (the paper's §1 remedy):
+    /// checkpoint images additionally carry the payloads of the interval's
+    /// sends, so recovery can replay lost messages and the orphan-free
+    /// line becomes executable — no domino effect, at the price of larger
+    /// checkpoints. Set recovery_mode/gc_mode to kOrphanFree with this.
+    bool message_logging = false;
+  };
+
+  IndependentProtocol(Runtime& runtime, Config config);
+  ~IndependentProtocol() override { halt(); }  // daemons reference *this
+
+  void start() override;
+
+  // ProtocolHooks
+  void on_send(Rank src, Envelope& env) override;
+  void on_arrival(Rank dst, const Envelope& env) override;
+  void on_deliver(des::Process& self, Rank dst, const Envelope& env) override;
+
+  // Recovery
+  [[nodiscard]] RecoveryLine recovery_line() const override;
+  void prepare_recovery(const RecoveryLine& line) override;
+  void resume_after_recovery() override;
+
+  // Introspection (tests)
+  [[nodiscard]] std::uint32_t intervals_of(Rank r) const noexcept {
+    return agents_[r]->intervals;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  /// Run one garbage-collection pass now (also runs automatically after
+  /// each durable checkpoint when cfg.gc is set). Returns reclaimed count.
+  std::uint64_t run_gc();
+
+ private:
+  struct Agent {
+    explicit Agent(des::Simulator& sim) : token(sim, 0), captured(sim, 0) {}
+    std::uint32_t intervals = 0;  ///< checkpoints taken (current interval index)
+    bool pending = false;         ///< timer fired; capture at next safe point
+    std::vector<SendRecord> sends;  ///< current-interval records (volatile)
+    std::vector<RecvRecord> recvs;
+    ChannelLog sent_log;         ///< current-interval payloads (message logging)
+    des::SimSemaphore token;     ///< stagger grant
+    des::SimSemaphore captured;  ///< paces the timer daemon
+  };
+
+  void install_safe_points();
+  void spawn_daemons();
+  void timer_main(Rank r, des::Process& self);
+  void dispatcher_main(Rank r, des::Process& self);
+  void safe_point(Rank r, des::Process& self);
+  void do_local_checkpoint(des::Process& carrier, Rank r);
+  void on_durable(Rank r);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  // Stagger arbiter state (lives logically at cfg_.arbiter's dispatcher).
+  std::deque<Rank> grant_queue_;
+  bool grant_held_ = false;
+};
+
+}  // namespace chk::chklib

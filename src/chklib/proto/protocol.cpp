@@ -1,0 +1,14 @@
+#include "chklib/proto/protocol.hpp"
+
+namespace chk::chklib {
+
+void Protocol::halt() {
+  for (auto& timer : timers_) timer.cancel();
+  timers_.clear();
+  for (des::Process* proc : procs_) {
+    if (!proc->finished()) rt_->sim().kill(*proc);
+  }
+  procs_.clear();
+}
+
+}  // namespace chk::chklib

@@ -1,0 +1,79 @@
+// Abstract checkpointing protocol.
+//
+// A protocol owns the per-node "checkpointer thread" daemons, interposes on
+// application messages (ProtocolHooks), drives checkpoint triggers, and
+// cooperates with the RecoveryManager after a failure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chklib/comm/hooks.hpp"
+#include "chklib/runtime.hpp"
+#include "des/process.hpp"
+#include "des/simulator.hpp"
+
+namespace chk::chklib {
+
+/// Per-rank checkpoint index to restore; 0 = the initial state.
+struct RecoveryLine {
+  std::vector<std::uint32_t> index;
+  [[nodiscard]] bool at_origin() const noexcept {
+    for (auto i : index) {
+      if (i != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct ProtocolStats {
+  std::uint64_t local_checkpoints = 0;  ///< per-process checkpoint operations
+  std::uint64_t delta_checkpoints = 0;  ///< of which incremental deltas
+  std::uint32_t committed_rounds = 0;   ///< globally committed epochs (coordinated)
+  std::uint64_t gc_reclaimed = 0;       ///< checkpoints deleted by garbage collection
+  /// Total time application processes spent blocked performing checkpoint
+  /// work (the scheme's blocking window, summed over ranks and rounds).
+  des::Duration app_blocked;
+};
+
+class Protocol : public ProtocolHooks {
+ public:
+  explicit Protocol(Runtime& runtime) : rt_(&runtime) {}
+  ~Protocol() override = default;
+
+  /// Install hooks and spawn daemons / trigger timers. Call once, before
+  /// Runtime::start_apps.
+  virtual void start() = 0;
+
+  /// Compute the recovery line from stable-storage metadata (free).
+  [[nodiscard]] virtual RecoveryLine recovery_line() const = 0;
+
+  /// Recovery step 1 (all processes already dead, channels flushed):
+  /// erase rolled-back (post-line) checkpoints and reset protocol state.
+  virtual void prepare_recovery(const RecoveryLine& line) = 0;
+
+  /// Recovery step 2 (state restored): respawn daemons, rearm triggers.
+  virtual void resume_after_recovery() = 0;
+
+  /// Kill all protocol processes and cancel pending trigger timers.
+  virtual void halt();
+
+  /// Completed checkpoints: committed global rounds (coordinated) or
+  /// durable local checkpoints (independent).
+  [[nodiscard]] const ProtocolStats& stats() const noexcept { return stats_; }
+
+ protected:
+  /// Track a protocol-owned process so halt() can kill it.
+  des::Process& track(des::Process& proc) {
+    procs_.push_back(&proc);
+    return proc;
+  }
+  void track_timer(des::EventHandle handle) { timers_.push_back(std::move(handle)); }
+
+  Runtime* rt_;
+  ProtocolStats stats_;
+  std::vector<des::Process*> procs_;
+  std::vector<des::EventHandle> timers_;
+};
+
+}  // namespace chk::chklib

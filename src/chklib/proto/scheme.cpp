@@ -1,0 +1,29 @@
+#include "chklib/proto/scheme.hpp"
+
+#include "util/format.hpp"
+
+namespace chk::chklib {
+
+std::string_view to_string(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::kNone: return "NORMAL";
+    case Scheme::kCoordNB: return "Coord_NB";
+    case Scheme::kCoordNBS: return "Coord_NBS";
+    case Scheme::kCoordNBM: return "Coord_NBM";
+    case Scheme::kCoordNBMS: return "Coord_NBMS";
+    case Scheme::kIndep: return "Indep";
+    case Scheme::kIndepM: return "Indep_M";
+    case Scheme::kIndepMS: return "Indep_MS";
+  }
+  return "?";
+}
+
+Scheme scheme_from_string(const std::string& name) {
+  for (Scheme s : {Scheme::kNone, Scheme::kCoordNB, Scheme::kCoordNBS, Scheme::kCoordNBM,
+                   Scheme::kCoordNBMS, Scheme::kIndep, Scheme::kIndepM, Scheme::kIndepMS}) {
+    if (name == to_string(s)) return s;
+  }
+  throw std::invalid_argument(util::format("unknown scheme '{}'", name));
+}
+
+}  // namespace chk::chklib

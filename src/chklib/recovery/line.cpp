@@ -1,0 +1,99 @@
+#include "chklib/recovery/line.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+namespace chk::chklib {
+
+std::string_view to_string(LineMode mode) noexcept {
+  switch (mode) {
+    case LineMode::kStrict: return "strict";
+    case LineMode::kOrphanFree: return "orphan-free";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Largest restorable checkpoint index <= x for this history (0 = initial
+/// state is always restorable).
+std::uint32_t floor_to_saved(const ProcessHistory& history, std::uint32_t x) {
+  std::uint32_t best = 0;
+  for (std::uint32_t index : history.saved) {
+    if (index <= x && index > best) best = index;
+  }
+  return best;
+}
+
+}  // namespace
+
+LineResult compute_recovery_line(const std::vector<ProcessHistory>& histories, LineMode mode) {
+  const std::size_t n = histories.size();
+  LineResult result;
+  result.line.index.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    result.line.index[p] = histories[p].saved.empty() ? 0 : histories[p].saved.back();
+  }
+  auto& line = result.line.index;
+
+  // Receive-interval lookup for the lost-message rule: (receiver, sender,
+  // seq) -> receive interval. A message with no record was never delivered
+  // before any saved receiver checkpoint.
+  std::vector<std::map<std::pair<Rank, std::uint64_t>, std::uint32_t>> recv_at(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    for (const RecvRecord& rec : histories[q].recvs) {
+      recv_at[q][{rec.src, rec.seq}] = rec.recv_interval;
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.iterations;
+    // Orphan rule: a remembered receive whose send is forgotten forces the
+    // receiver back to (at latest) the checkpoint preceding the receive.
+    for (std::size_t q = 0; q < n; ++q) {
+      for (const RecvRecord& rec : histories[q].recvs) {
+        if (rec.recv_interval < line[q] && rec.send_interval >= line[rec.src]) {
+          line[q] = floor_to_saved(histories[q], rec.recv_interval);
+          changed = true;
+          ++result.rollbacks;
+        }
+      }
+    }
+    if (mode == LineMode::kStrict) {
+      // Lost-message rule: a remembered send whose receive is forgotten
+      // cannot be regenerated without logging; retract the sender.
+      for (std::size_t p = 0; p < n; ++p) {
+        for (const SendRecord& rec : histories[p].sends) {
+          if (rec.interval >= line[p]) continue;  // send already forgotten
+          const auto it = recv_at[rec.dst].find({static_cast<Rank>(p), rec.seq});
+          const std::uint32_t recv_interval =
+              it == recv_at[rec.dst].end() ? std::numeric_limits<std::uint32_t>::max()
+                                           : it->second;
+          if (recv_interval >= line[rec.dst]) {
+            line[p] = floor_to_saved(histories[p], rec.interval);
+            changed = true;
+            ++result.rollbacks;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<std::uint32_t>> reclaimable(
+    const std::vector<ProcessHistory>& histories, const RecoveryLine& line) {
+  std::vector<std::vector<std::uint32_t>> result(histories.size());
+  for (std::size_t p = 0; p < histories.size(); ++p) {
+    for (std::uint32_t index : histories[p].saved) {
+      if (index != 0 && index < line.index[p]) result[p].push_back(index);
+    }
+  }
+  return result;
+}
+
+}  // namespace chk::chklib

@@ -1,0 +1,64 @@
+// Recovery-line computation for independent checkpointing.
+//
+// Each saved checkpoint of rank p carries the send/receive records of the
+// interval that preceded it (interval k = execution between checkpoints k
+// and k+1; records of interval k are stored in checkpoint k+1). Given a
+// candidate line L (checkpoint index per rank, 0 = initial state):
+//
+//   * a send by p in interval s is REMEMBERED iff s <  L[p]
+//   * a receive by q in interval r is REMEMBERED iff r < L[q]
+//
+// A line is consistent iff no message is an ORPHAN (receive remembered,
+// send forgotten) and — in strict mode — no message is LOST (send
+// remembered, receive forgotten). The maximal consistent line is computed
+// by the classic rollback-propagation fixpoint: start from the newest
+// checkpoints and repeatedly retract the offending side. Strict mode is
+// Randell's domino-effect model (no logging: a crossing message cannot be
+// regenerated); orphan-free mode is the weaker Wang-style line that a
+// message-logging add-on would make sufficient, and is what the
+// checkpoint-space reclamation of [12] garbage-collects against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chklib/ckpt/image.hpp"
+#include "chklib/proto/protocol.hpp"
+
+namespace chk::chklib {
+
+enum class LineMode {
+  kStrict,      ///< no crossing messages at all (domino-prone, log-free recovery)
+  kOrphanFree,  ///< no orphans only (requires message logging to execute)
+};
+
+[[nodiscard]] std::string_view to_string(LineMode mode) noexcept;
+
+/// One process's saved-checkpoint metadata, newest last.
+struct ProcessHistory {
+  Rank rank = 0;
+  /// Ascending saved checkpoint indices (not necessarily contiguous after GC).
+  std::vector<std::uint32_t> saved;
+  /// All records from the saved checkpoints, merged.
+  std::vector<SendRecord> sends;
+  std::vector<RecvRecord> recvs;
+};
+
+struct LineResult {
+  RecoveryLine line;
+  std::uint32_t iterations = 0;       ///< fixpoint sweeps until stable
+  std::uint64_t rollbacks = 0;        ///< individual retraction steps (domino cascades)
+};
+
+/// Compute the maximal consistent line <= the newest saved checkpoints.
+/// Histories must be indexed by rank and cover every rank.
+[[nodiscard]] LineResult compute_recovery_line(const std::vector<ProcessHistory>& histories,
+                                               LineMode mode);
+
+/// Checkpoints strictly below the line are unreachable by any future
+/// recovery and can be reclaimed. Returns per-rank lists of indices to
+/// delete (index 0, the implicit initial state, is never listed).
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> reclaimable(
+    const std::vector<ProcessHistory>& histories, const RecoveryLine& line);
+
+}  // namespace chk::chklib

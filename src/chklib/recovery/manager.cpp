@@ -1,0 +1,161 @@
+#include "chklib/recovery/manager.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "chklib/ckpt/incremental.hpp"
+
+#include "util/format.hpp"
+#include "util/logging.hpp"
+
+namespace chk::chklib {
+
+void RecoveryManager::inject_failure_at(des::TimePoint when, Rank rank) {
+  rt_->sim().schedule_at(when, [this, rank] {
+    if (rt_->apps_done()) return;
+    on_failure(rank);
+  });
+}
+
+void RecoveryManager::on_failure(Rank failed) {
+  des::Simulator& sim = rt_->sim();
+  CHK_INFO("recovery", "node {} failed at {}", failed, sim.now().str());
+
+  RecoveryReport report;
+  report.failed_at = sim.now();
+  report.failed_rank = failed;
+
+  // Latest saved index per rank, for the domino-depth metric (before
+  // prepare_recovery erases post-line images).
+  std::vector<std::uint32_t> newest(rt_->num_ranks(), 0);
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    const auto saved = rt_->store().saved_indices(r);
+    if (!saved.empty()) newest[r] = saved.back();
+  }
+
+  // 1. The whole application goes down: every in-flight message dies with
+  //    it, every process stops.
+  rt_->comm().bump_incarnation();
+  rt_->kill_apps();
+  protocol_->halt();
+  rt_->comm().flush_all();
+
+  // 2. Plan the rollback (metadata only, free).
+  report.line = protocol_->recovery_line();
+  report.rolled_to_origin = report.line.at_origin();
+  report.domino_depth.resize(rt_->num_ranks());
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    report.domino_depth[r] = newest[r] - report.line.index[r];
+  }
+  protocol_->prepare_recovery(report.line);
+
+  // 3. Restore: one loader process per rank issues the timed stable-storage
+  //    reads (they contend at the disk exactly like the writes did).
+  auto pending = std::make_shared<std::size_t>(rt_->num_ranks());
+  auto shared_report = std::make_shared<RecoveryReport>(std::move(report));
+  const std::uint64_t bytes_before = rt_->store().storage().bytes_written();
+  (void)bytes_before;
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    sim.spawn(util::format("recover-r{}", r), [this, r, pending, shared_report](des::Process& self) {
+      RankRuntime& rank = rt_->rank(r);
+      const std::uint32_t index = shared_report->line.index[r];
+      des::TimePoint restored_from = des::TimePoint::origin();
+      if (index == 0) {
+        // Initial state: nothing to read; the body reinitializes.
+        rank.pending_restore.reset();
+        rank.fresh = true;
+      } else {
+        CheckpointImage image = rt_->store().load_image_blocking(self, r, index);
+        shared_report->bytes_read += image.state.size();
+        restored_from = des::TimePoint::from_nanos(image.captured_at_ns);
+        std::vector<std::byte> state;
+        if (image.delta_base == 0) {
+          state = std::move(image.state);
+        } else {
+          // Incremental chain: read back to the last full image (each read
+          // is timed and contends at the disk), then apply the deltas
+          // oldest-first.
+          std::vector<CheckpointImage> chain;
+          chain.push_back(std::move(image));
+          while (chain.back().delta_base != 0) {
+            CheckpointImage pred =
+                rt_->store().load_image_blocking(self, r, chain.back().delta_base);
+            shared_report->bytes_read += pred.state.size();
+            chain.push_back(std::move(pred));
+          }
+          state = std::move(chain.back().state);
+          for (auto it = chain.rbegin() + 1; it != chain.rend(); ++it) {
+            StateDelta::deserialize(it->state).apply(state);
+          }
+          image = std::move(chain.front());
+        }
+        rank.pending_restore = std::move(state);
+        rank.fresh = false;
+        // Channel counters at the cut: re-sent post-cut messages keep their
+        // original sequence numbers and consumed duplicates are dropped.
+        rt_->comm().endpoint(r).restore_seq(image.seq);
+        // Pessimistic message logging (independent + logging): stash the
+        // line's sent payloads; lost ones are replayed once every rank's
+        // sequence state is restored (see the completion block below).
+        if (!image.sent_log.messages.empty()) {
+          auto& logged = shared_report->logged_sends;
+          logged.insert(logged.end(),
+                        std::make_move_iterator(image.sent_log.messages.begin()),
+                        std::make_move_iterator(image.sent_log.messages.end()));
+        }
+        // Pre-line images also carry payload logs that may be needed
+        // (earlier intervals whose receives the line forgot). Collect
+        // them from metadata; their bytes were paid for when written.
+        for (std::uint32_t older : rt_->store().saved_indices(r)) {
+          if (older >= index) continue;
+          const CheckpointImage meta = rt_->store().peek_image(r, older);
+          auto& logged = shared_report->logged_sends;
+          logged.insert(logged.end(), meta.sent_log.messages.begin(),
+                        meta.sent_log.messages.end());
+        }
+        // Coordinated: replay the in-transit messages of the cut.
+        if (auto log = rt_->store().load_log_blocking(self, r, index)) {
+          shared_report->channel_messages_replayed += log->messages.size();
+          rt_->comm().endpoint(r).reinject(std::move(log->messages));
+        }
+      }
+      shared_report->rollback_distance.resize(rt_->num_ranks());
+      shared_report->rollback_distance[r] = shared_report->failed_at - restored_from;
+      if (--*pending == 0) {
+        // 4a. Message-log replay: a logged pre-line send whose consumption
+        // is not part of the receiver's restored state was lost with the
+        // crash (its sender will not re-send it); re-inject it. This is
+        // what makes the orphan-free line executable.
+        if (!shared_report->logged_sends.empty()) {
+          std::vector<std::vector<Envelope>> by_dst(rt_->num_ranks());
+          for (Envelope& env : shared_report->logged_sends) {
+            Endpoint& dst = rt_->comm().endpoint(env.dst);
+            if (!dst.already_consumed(env.src, env.seq)) {
+              by_dst[env.dst].push_back(std::move(env));
+            }
+          }
+          for (Rank q = 0; q < rt_->num_ranks(); ++q) {
+            if (by_dst[q].empty()) continue;
+            // FIFO per channel: replay in sequence order.
+            std::sort(by_dst[q].begin(), by_dst[q].end(),
+                      [](const Envelope& a, const Envelope& b) {
+                        return a.src != b.src ? a.src < b.src : a.seq < b.seq;
+                      });
+            shared_report->channel_messages_replayed += by_dst[q].size();
+            rt_->comm().endpoint(q).reinject(std::move(by_dst[q]));
+          }
+          shared_report->logged_sends.clear();
+        }
+        // 4b. Everything restored: restart the protocol and the application.
+        shared_report->recovery_latency = rt_->sim().now() - shared_report->failed_at;
+        protocol_->resume_after_recovery();
+        rt_->restart_apps();
+        reports_.push_back(*shared_report);
+        CHK_INFO("recovery", "restart complete at {} (latency {})", rt_->sim().now().str(),
+                 shared_report->recovery_latency.str());
+      }
+    });
+  }
+}
+
+}  // namespace chk::chklib

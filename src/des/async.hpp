@@ -1,0 +1,57 @@
+// Bridging callback-style completion (FifoServer, Network) to blocking
+// process style, safely across process kills.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "des/process.hpp"
+#include "des/simulator.hpp"
+
+namespace chk::des {
+
+/// Completion token: the async operation calls `operator()` exactly once
+/// (in kernel context); the waiting process parks until then. If the
+/// waiter is killed while parked, the late completion is a safe no-op —
+/// the shared state outlives the waiter's stack frame.
+class Completion {
+ public:
+  explicit Completion(Simulator& sim)
+      : state_(std::make_shared<State>()), sim_(&sim) {}
+
+  /// The callback to hand to the async operation. Copyable.
+  [[nodiscard]] std::function<void()> callback() const {
+    auto state = state_;
+    Simulator* sim = sim_;
+    return [state, sim] {
+      state->fired = true;
+      if (state->waiter != nullptr) {
+        Process* waiter = state->waiter;
+        state->waiter = nullptr;
+        sim->wake(*waiter);
+      }
+    };
+  }
+
+  /// Block `self` until the callback has fired. Throws ProcessKilled if
+  /// the process is killed first.
+  void await(Process& self) {
+    while (!state_->fired) {
+      state_->waiter = &self;
+      auto state = state_;
+      self.suspend([state] { state->waiter = nullptr; });
+    }
+  }
+
+  [[nodiscard]] bool fired() const noexcept { return state_->fired; }
+
+ private:
+  struct State {
+    bool fired = false;
+    Process* waiter = nullptr;
+  };
+  std::shared_ptr<State> state_;
+  Simulator* sim_;
+};
+
+}  // namespace chk::des

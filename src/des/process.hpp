@@ -1,0 +1,81 @@
+// Simulated process.
+//
+// A Process runs a user-supplied body on a dedicated std::jthread, but the
+// kernel guarantees that at most one simulated thread executes at any wall
+// instant: the process and the kernel hand a baton back and forth through
+// two binary semaphores. Blocking primitives (delay, semaphores, mailboxes)
+// park the thread on its own semaphore; a waker schedules a kernel event
+// that releases it. Killing a process throws ProcessKilled at its current
+// suspension point so that stack unwinding runs RAII cleanups.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <semaphore>
+#include <string>
+#include <thread>
+
+#include "des/simulator.hpp"
+#include "des/time.hpp"
+
+namespace chk::des {
+
+class Process {
+ public:
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] Simulator& sim() noexcept { return *sim_; }
+  [[nodiscard]] TimePoint now() const noexcept { return sim_->now(); }
+
+  [[nodiscard]] bool finished() const noexcept { return state_ == State::kFinished; }
+  [[nodiscard]] bool kill_requested() const noexcept { return killed_; }
+  /// Set when the body terminated by an uncaught exception other than
+  /// ProcessKilled; holds the exception's what().
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  // ---- Blocking primitives; callable only from this process's own body ----
+
+  /// Advance simulated time by `d` without consuming any modelled resource.
+  void delay(Duration d);
+
+  /// Yield to other work scheduled at the current instant.
+  void yield();
+
+  /// Park until resumed. `cancel` must undo the external wake source (e.g.
+  /// remove this process from a wait list); the kernel invokes it if the
+  /// process is killed while parked, so that no stale waker fires later.
+  /// Throws ProcessKilled after a kill.
+  void suspend(std::function<void()> cancel);
+
+ private:
+  friend class Simulator;
+
+  enum class State : std::uint8_t {
+    kCreated,   ///< spawn event scheduled, body not yet entered
+    kRunning,   ///< currently holds the baton
+    kReady,     ///< resume event scheduled
+    kBlocked,   ///< parked in suspend()
+    kFinished,  ///< body returned / unwound
+  };
+
+  Process(Simulator& sim, std::uint64_t id, std::string name, ProcessFn body);
+
+  void thread_main(ProcessFn body) noexcept;
+  void check_in_body() const;
+
+  Simulator* sim_;
+  std::uint64_t id_;
+  std::string name_;
+  State state_ = State::kCreated;
+  bool killed_ = false;
+  std::string error_;
+  std::function<void()> cancel_;          // valid while kBlocked
+  std::binary_semaphore run_baton_{0};    // kernel -> process
+  std::jthread thread_;                   // last member: starts running in ctor
+};
+
+}  // namespace chk::des

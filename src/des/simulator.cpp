@@ -1,0 +1,216 @@
+#include "des/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "des/process.hpp"
+#include "util/logging.hpp"
+
+namespace chk::des {
+
+std::string_view to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kIdle: return "idle";
+    case StopReason::kDeadlock: return "deadlock";
+    case StopReason::kTimeLimit: return "time-limit";
+    case StopReason::kEventLimit: return "event-limit";
+    case StopReason::kStopped: return "stopped";
+  }
+  return "?";
+}
+
+Simulator::Simulator() = default;
+
+Simulator::~Simulator() { shutdown(); }
+
+void Simulator::shutdown() noexcept {
+  // Tear down any processes that are still alive: wake each with the kill
+  // flag set so its stack unwinds (running destructors) and its thread
+  // exits. The baton protocol keeps this serialized.
+  for (auto& proc : processes_) {
+    if (proc->state_ == Process::State::kFinished) continue;
+    proc->killed_ = true;
+    if (proc->cancel_) {
+      auto cancel = std::move(proc->cancel_);
+      proc->cancel_ = nullptr;
+      cancel();
+    }
+    proc->run_baton_.release();
+    kernel_baton_.acquire();  // wait for the thread to unwind & yield back
+  }
+  // jthread members join in Process destructors (or immediately here for
+  // explicit shutdown: a finished thread joins without blocking).
+}
+
+EventHandle Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) {
+    throw SimError(util::format("schedule_at: {} is in the past (now={})", when.str(), now_.str()));
+  }
+  auto event = std::make_shared<EventHandle::Event>();
+  event->time = when;
+  event->seq = next_seq_++;
+  event->fn = std::move(fn);
+  EventHandle handle{event};
+  queue_.push(QueueEntry{std::move(event)});
+  return handle;
+}
+
+EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::zero()) throw SimError("schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+Process& Simulator::spawn(std::string name, ProcessFn body) {
+  return spawn_at(now_, std::move(name), std::move(body));
+}
+
+Process& Simulator::spawn_at(TimePoint start, std::string name, ProcessFn body) {
+  auto proc = std::unique_ptr<Process>(
+      new Process(*this, processes_.size(), std::move(name), std::move(body)));
+  Process& ref = *proc;
+  processes_.push_back(std::move(proc));
+  schedule_at(start, [this, &ref] {
+    if (ref.state_ == Process::State::kCreated) {
+      ref.state_ = Process::State::kReady;
+      switch_to(ref);
+    }
+  });
+  return ref;
+}
+
+void Simulator::kill(Process& process) {
+  if (process.state_ == Process::State::kFinished || process.killed_) return;
+  process.killed_ = true;
+  if (current_ == &process) throw ProcessKilled{};  // self-kill unwinds now
+  if (process.state_ == Process::State::kBlocked) {
+    if (process.cancel_) {
+      auto cancel = std::move(process.cancel_);
+      process.cancel_ = nullptr;
+      cancel();
+    }
+    resume(process);
+  }
+  // kCreated: its start event notices the kill when the body is entered.
+  // kReady: a resume event is already queued; suspend() throws on return.
+}
+
+void Simulator::resume(Process& process) {
+  if (process.state_ == Process::State::kFinished) return;
+  if (process.state_ != Process::State::kBlocked && process.state_ != Process::State::kCreated) {
+    throw SimError(util::format("resume: process '{}' is not blocked", process.name_));
+  }
+  process.state_ = Process::State::kReady;
+  schedule_now([this, &process] { switch_to(process); });
+}
+
+void Simulator::switch_to(Process& process) {
+  assert(current_ == nullptr && "switch_to from non-kernel context");
+  assert(process.state_ == Process::State::kReady);
+  current_ = &process;
+  process.state_ = Process::State::kRunning;
+  process.run_baton_.release();
+  kernel_baton_.acquire();
+  current_ = nullptr;
+}
+
+void Simulator::on_process_exit(Process& process) noexcept {
+  process.state_ = Process::State::kFinished;
+  process.cancel_ = nullptr;
+}
+
+std::size_t Simulator::live_processes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& proc : processes_) {
+    if (proc->state_ != Process::State::kFinished) ++n;
+  }
+  return n;
+}
+
+RunResult Simulator::run(TimePoint until, std::uint64_t max_events) {
+  if (running_) throw SimError("run: reentrant call");
+  running_ = true;
+  stop_requested_ = false;
+  RunResult result;
+  while (true) {
+    if (stop_requested_) { result.reason = StopReason::kStopped; break; }
+    if (queue_.empty()) {
+      result.reason = live_processes() > 0 ? StopReason::kDeadlock : StopReason::kIdle;
+      break;
+    }
+    if (result.events_executed >= max_events) { result.reason = StopReason::kEventLimit; break; }
+    auto entry = queue_.top();
+    if (entry.event->time > until) { result.reason = StopReason::kTimeLimit; break; }
+    queue_.pop();
+    if (entry.event->cancelled) continue;
+    now_ = entry.event->time;
+    ++result.events_executed;
+    ++events_executed_;
+    auto fn = std::move(entry.event->fn);
+    entry.event->cancelled = true;  // mark consumed so handles report !pending
+    fn();
+  }
+  running_ = false;
+  result.end_time = now_;
+  CHK_DEBUG("des", "run finished: {} at {} after {} events", to_string(result.reason),
+            now_.str(), result.events_executed);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+Process::Process(Simulator& sim, std::uint64_t id, std::string name, ProcessFn body)
+    : sim_(&sim),
+      id_(id),
+      name_(std::move(name)),
+      thread_([this, fn = std::move(body)]() mutable { thread_main(std::move(fn)); }) {}
+
+Process::~Process() = default;
+
+void Process::thread_main(ProcessFn body) noexcept {
+  run_baton_.acquire();  // wait for the first dispatch
+  if (!killed_) {
+    try {
+      body(*this);
+    } catch (const ProcessKilled&) {
+      // normal teardown path
+    } catch (const std::exception& e) {
+      error_ = e.what();
+      CHK_ERROR("des", "process '{}' died with exception: {}", name_, error_);
+    } catch (...) {
+      error_ = "unknown exception";
+      CHK_ERROR("des", "process '{}' died with unknown exception", name_);
+    }
+  }
+  sim_->on_process_exit(*this);
+  sim_->kernel_baton_.release();  // final yield; thread ends here
+}
+
+void Process::check_in_body() const {
+  if (sim_->current() != this) {
+    throw SimError(util::format(
+        "blocking primitive for process '{}' called from outside its body", name_));
+  }
+}
+
+void Process::suspend(std::function<void()> cancel) {
+  check_in_body();
+  cancel_ = std::move(cancel);
+  state_ = State::kBlocked;
+  sim_->kernel_baton_.release();
+  run_baton_.acquire();
+  cancel_ = nullptr;
+  state_ = State::kRunning;
+  if (killed_) throw ProcessKilled{};
+}
+
+void Process::delay(Duration d) {
+  check_in_body();
+  auto handle = sim_->schedule_after(d, [this] { sim_->resume(*this); });
+  suspend([handle]() mutable { handle.cancel(); });
+}
+
+void Process::yield() { delay(Duration::zero()); }
+
+}  // namespace chk::des

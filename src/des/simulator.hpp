@@ -1,0 +1,177 @@
+// Discrete-event simulation kernel.
+//
+// The Simulator owns a totally ordered event queue keyed by (time, sequence
+// number) — equal-time events run in schedule order, so runs with the same
+// seed are bit-identical. Simulated processes (see process.hpp) are backed
+// by real threads, but the kernel hands execution to exactly one thread at
+// a time through binary semaphores; there is therefore never concurrent
+// access to simulator state and the simulation is deterministic.
+#pragma once
+
+#include <cstdint>
+#include "util/format.hpp"
+#include <functional>
+#include <memory>
+#include <queue>
+#include <semaphore>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace chk::des {
+
+class Process;
+using ProcessFn = std::function<void(Process&)>;
+
+/// Thrown inside a simulated process when it has been killed (failure
+/// injection, recovery restart, or simulator teardown). Process bodies may
+/// let it propagate; the kernel catches it at the process boundary.
+struct ProcessKilled {};
+
+/// Raised on structural misuse of the kernel (e.g. blocking call from the
+/// kernel context). Always a programming error, never a simulation outcome.
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Cancelable handle to a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True while the event has neither run nor been cancelled.
+  [[nodiscard]] bool pending() const noexcept {
+    const auto ev = event_.lock();
+    return ev != nullptr && !ev->cancelled;
+  }
+  /// Cancel if still pending; idempotent.
+  void cancel() noexcept {
+    if (const auto ev = event_.lock()) ev->cancelled = true;
+  }
+
+ private:
+  friend class Simulator;
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  explicit EventHandle(std::weak_ptr<Event> event) : event_(std::move(event)) {}
+  std::weak_ptr<Event> event_;
+};
+
+/// Why Simulator::run returned.
+enum class StopReason {
+  kIdle,        ///< event queue drained (all processes finished or blocked forever)
+  kDeadlock,    ///< queue drained but live processes remain blocked
+  kTimeLimit,   ///< reached the requested time horizon
+  kEventLimit,  ///< safety valve: too many events
+  kStopped,     ///< Simulator::stop() was called
+};
+
+std::string_view to_string(StopReason reason) noexcept;
+
+struct RunResult {
+  StopReason reason = StopReason::kIdle;
+  TimePoint end_time;
+  std::uint64_t events_executed = 0;
+};
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return events_executed_; }
+
+  /// Schedule a callback. Callbacks run in kernel context: they must not
+  /// block (use a process for blocking behaviour). Scheduling in the past
+  /// is an error; scheduling at the current instant runs after all events
+  /// already queued for that instant.
+  EventHandle schedule_at(TimePoint when, std::function<void()> fn);
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+  EventHandle schedule_now(std::function<void()> fn) { return schedule_after(Duration::zero(), std::move(fn)); }
+
+  /// Create a simulated process whose body starts executing at `start`
+  /// (default: the current instant). The Simulator owns the Process; the
+  /// returned reference is valid for the Simulator's lifetime.
+  Process& spawn(std::string name, ProcessFn body);
+  Process& spawn_at(TimePoint start, std::string name, ProcessFn body);
+
+  /// Kill a process: if blocked, it is woken immediately and ProcessKilled
+  /// is thrown at its suspension point; if it has not started, it never
+  /// runs. Safe to call on finished processes (no-op). Self-kill throws
+  /// ProcessKilled directly.
+  void kill(Process& process);
+
+  /// Run until the queue drains, `until` is reached, `max_events` have run,
+  /// or stop() is called. May be called repeatedly to continue.
+  RunResult run(TimePoint until = TimePoint::max(),
+                std::uint64_t max_events = std::uint64_t{1} << 62);
+
+  /// Kill every live process and join its thread (stacks unwind through
+  /// their RAII cleanups NOW, while the objects they reference are still
+  /// alive). Call before destroying any object a process might touch; the
+  /// destructor runs this as a backstop. Idempotent.
+  void shutdown() noexcept;
+
+  /// Request run() to return after the current event completes. Callable
+  /// from kernel callbacks or from process context.
+  void stop() noexcept { stop_requested_ = true; }
+
+  /// The process currently executing, or nullptr in kernel context.
+  [[nodiscard]] Process* current() const noexcept { return current_; }
+
+  /// Wake a blocked process (schedules its resumption at the current
+  /// instant). For use by synchronization-primitive implementations after
+  /// removing the process from their wait list; the process must be parked
+  /// in Process::suspend. Throws SimError otherwise.
+  void wake(Process& process) { resume(process); }
+
+  /// Number of spawned processes that have not finished.
+  [[nodiscard]] std::size_t live_processes() const noexcept;
+
+  /// All processes ever spawned (finished ones included).
+  [[nodiscard]] const std::vector<std::unique_ptr<Process>>& processes() const noexcept {
+    return processes_;
+  }
+
+ private:
+  friend class Process;
+
+  // Schedules a context switch into `process` at the current instant.
+  // Precondition: the process is blocked or not yet started.
+  void resume(Process& process);
+  // Transfers execution to the process thread and waits for it to yield
+  // back. Called only from kernel context.
+  void switch_to(Process& process);
+  // Called on the process thread as its final act before exiting.
+  void on_process_exit(Process& process) noexcept;
+
+  struct QueueEntry {
+    std::shared_ptr<EventHandle::Event> event;
+    friend bool operator>(const QueueEntry& a, const QueueEntry& b) noexcept {
+      if (a.event->time != b.event->time) return a.event->time > b.event->time;
+      return a.event->seq > b.event->seq;
+    }
+  };
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  Process* current_ = nullptr;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::binary_semaphore kernel_baton_{0};  // process -> kernel
+};
+
+}  // namespace chk::des

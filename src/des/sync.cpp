@@ -1,0 +1,67 @@
+#include "des/sync.hpp"
+
+namespace chk::des {
+
+void SimSemaphore::acquire(Process& self) {
+  if (count_ > 0) {
+    --count_;
+    return;
+  }
+  wait_queue_.push_back(&self);
+  // A releaser that wakes us has already consumed the unit on our behalf
+  // (it does not increment count_), so no re-check loop is needed; but a
+  // kill while queued must remove us so the unit is not lost on a later
+  // release.
+  self.suspend([this, &self] { std::erase(wait_queue_, &self); });
+}
+
+bool SimSemaphore::try_acquire() noexcept {
+  if (count_ > 0) {
+    --count_;
+    return true;
+  }
+  return false;
+}
+
+void SimSemaphore::release() {
+  if (!wait_queue_.empty()) {
+    Process* waiter = wait_queue_.front();
+    wait_queue_.pop_front();
+    sim_->wake(*waiter);  // unit transfers directly to the waiter
+    return;
+  }
+  ++count_;
+}
+
+void SimBarrier::arrive_and_wait(Process& self) {
+  waiting_.push_back(&self);
+  if (waiting_.size() == parties_) {
+    ++generation_;
+    auto releasing = std::move(waiting_);
+    waiting_.clear();
+    for (Process* proc : releasing) {
+      if (proc != &self) sim_->wake(*proc);
+    }
+    return;  // last arrival passes straight through
+  }
+  self.suspend([this, &self] { std::erase(waiting_, &self); });
+}
+
+Duration SimResource::use(Process& self, Duration service_time) {
+  const TimePoint requested = sim_->now();
+  gate_.acquire(self);
+  const Duration waited = sim_->now() - requested;
+  queued_ += waited;
+  // Hold the resource for the service time; if we are killed mid-service
+  // the RAII release below still frees the resource so others proceed.
+  struct Release {
+    SimSemaphore* gate;
+    ~Release() { gate->release(); }
+  } releaser{&gate_};
+  self.delay(service_time);
+  busy_ += service_time;
+  ++completed_;
+  return waited;
+}
+
+}  // namespace chk::des

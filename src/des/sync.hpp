@@ -1,0 +1,147 @@
+// Simulated-domain synchronization primitives.
+//
+// All primitives operate purely on simulator state (never on OS state): a
+// blocked simulated process is parked via Process::suspend and woken by a
+// kernel event. Wait lists are strict FIFO, which both matches the FIFO
+// service disciplines of the modelled hardware and keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "des/process.hpp"
+#include "des/simulator.hpp"
+
+namespace chk::des {
+
+/// Counting semaphore with FIFO wakeups.
+class SimSemaphore {
+ public:
+  explicit SimSemaphore(Simulator& sim, std::int64_t initial = 0)
+      : sim_(&sim), count_(initial) {}
+  SimSemaphore(const SimSemaphore&) = delete;
+  SimSemaphore& operator=(const SimSemaphore&) = delete;
+
+  /// Block the calling process until a unit is available.
+  void acquire(Process& self);
+
+  /// True if a unit was available; never blocks.
+  bool try_acquire() noexcept;
+
+  /// Release one unit; wakes the oldest waiter if any.
+  void release();
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t waiters() const noexcept { return wait_queue_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::int64_t count_;
+  std::deque<Process*> wait_queue_;
+};
+
+/// Single-slot or multi-slot typed message queue; receivers block.
+template <typename T>
+class SimMailbox {
+ public:
+  explicit SimMailbox(Simulator& sim) : sim_(&sim) {}
+  SimMailbox(const SimMailbox&) = delete;
+  SimMailbox& operator=(const SimMailbox&) = delete;
+
+  /// Deposit a message; callable from kernel or process context.
+  void send(T message) {
+    items_.push_back(std::move(message));
+    if (!receivers_.empty()) {
+      Process* receiver = receivers_.front();
+      receivers_.pop_front();
+      sim_->wake(*receiver);
+    }
+  }
+
+  /// Block until a message is available, then take the oldest one.
+  T recv(Process& self) {
+    while (items_.empty()) {
+      receivers_.push_back(&self);
+      self.suspend([this, &self] { remove_receiver(self); });
+    }
+    T message = std::move(items_.front());
+    items_.pop_front();
+    return message;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T message = std::move(items_.front());
+    items_.pop_front();
+    return message;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::size_t waiting_receivers() const noexcept { return receivers_.size(); }
+
+  /// Drop all queued messages (used when flushing channels on rollback).
+  void clear() noexcept { items_.clear(); }
+
+ private:
+  void remove_receiver(Process& self) { std::erase(receivers_, &self); }
+
+  Simulator* sim_;
+  std::deque<T> items_;
+  std::deque<Process*> receivers_;
+};
+
+/// Reusable N-party barrier.
+class SimBarrier {
+ public:
+  SimBarrier(Simulator& sim, std::size_t parties) : sim_(&sim), parties_(parties) {}
+  SimBarrier(const SimBarrier&) = delete;
+  SimBarrier& operator=(const SimBarrier&) = delete;
+
+  /// Block until all parties have arrived; the last arrival releases all.
+  void arrive_and_wait(Process& self);
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+  [[nodiscard]] std::size_t arrived() const noexcept { return waiting_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::size_t parties_;
+  std::uint64_t generation_ = 0;
+  std::deque<Process*> waiting_;
+};
+
+/// A FIFO-served exclusive resource with a modelled service time — the
+/// building block for links and the disk. A process `uses` the resource
+/// for a caller-computed Duration; requests queue in arrival order.
+class SimResource {
+ public:
+  explicit SimResource(Simulator& sim, std::string name)
+      : sim_(&sim), name_(std::move(name)), gate_(sim, 1) {}
+
+  /// Acquire exclusively, hold for `service_time` of simulated time, then
+  /// release. Returns the time spent queueing (not serving).
+  Duration use(Process& self, Duration service_time);
+
+  /// Total simulated time the resource spent serving (busy time).
+  [[nodiscard]] Duration busy_time() const noexcept { return busy_; }
+  [[nodiscard]] Duration queue_time() const noexcept { return queued_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t queue_length() const noexcept { return gate_.waiters(); }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  SimSemaphore gate_;
+  Duration busy_;
+  Duration queued_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace chk::des

@@ -1,0 +1,108 @@
+#include "harness/catalog.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/asp.hpp"
+#include "apps/gauss.hpp"
+#include "apps/ising.hpp"
+#include "apps/nbody.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/sor.hpp"
+#include "apps/tsp.hpp"
+#include "util/format.hpp"
+
+namespace chk::harness {
+
+namespace {
+
+using namespace chk::apps;
+
+BenchRow ising_row(std::size_t n, std::uint32_t sweeps) {
+  // state/node: spins (int8, +2 halo rows) + two float coupling arrays.
+  return BenchRow{util::format("ISING-{}", n), make_ising({.n = n, .sweeps = sweeps}),
+                  (n / 8 + 2) * n + (2 * n / 8 + 1) * n * sizeof(float)};
+}
+
+BenchRow sor_row(std::size_t n, std::uint32_t iterations) {
+  return BenchRow{util::format("SOR-{}", n),
+                  make_sor({.n = n, .iterations = iterations}),
+                  (n / 8 + 2) * n * sizeof(double)};
+}
+
+BenchRow gauss_row(std::size_t n) {
+  return BenchRow{util::format("GAUSS-{}", n), make_gauss({.n = n}),
+                  (n / 8) * (n + 1) * sizeof(double)};
+}
+
+BenchRow asp_row(std::size_t n) {
+  return BenchRow{util::format("ASP-{}", n), make_asp({.n = n}),
+                  (n / 8) * n * sizeof(std::int32_t)};
+}
+
+BenchRow nbody_row(std::size_t bodies, std::uint32_t steps) {
+  return BenchRow{util::format("NBODY-{}", bodies),
+                  make_nbody({.bodies = bodies, .steps = steps}), (bodies / 8) * 40};
+}
+
+BenchRow tsp_row() { return BenchRow{"TSP", make_tsp({}), 64}; }
+
+BenchRow nqueens_row(std::uint32_t n) {
+  return BenchRow{util::format("NQUEENS-{}", n), make_nqueens({.n = n}), 16};
+}
+
+/// ISING sweep count targeting roughly 150 s of simulated execution on the
+/// 8-T805 model (larger lattices sweep fewer times, as one would configure
+/// a fixed-length experiment).
+std::uint32_t ising_sweeps_for(std::size_t n) {
+  const double per_sweep =
+      static_cast<double>(n) * static_cast<double>(n) / 8.0 * kIsingFlopsPerSite / 0.7e6;
+  const double sweeps = 150.0 / per_sweep;
+  return static_cast<std::uint32_t>(std::clamp(sweeps, 20.0, 300.0));
+}
+
+}  // namespace
+
+std::vector<BenchRow> table1_rows() {
+  std::vector<BenchRow> rows;
+  for (std::size_t n : {256ul, 384ul, 512ul, 640ul, 768ul, 896ul, 1024ul, 1280ul}) {
+    rows.push_back(ising_row(n, ising_sweeps_for(n)));
+  }
+  for (std::size_t n : {384ul, 512ul, 640ul, 768ul, 1024ul, 1280ul}) {
+    rows.push_back(sor_row(n, 100));
+  }
+  rows.push_back(gauss_row(768));
+  rows.push_back(gauss_row(1024));
+  rows.push_back(asp_row(512));
+  rows.push_back(asp_row(640));
+  rows.push_back(nbody_row(2048, 10));
+  rows.push_back(tsp_row());
+  rows.push_back(nqueens_row(14));
+  return rows;
+}
+
+std::vector<BenchRow> table23_rows() {
+  std::vector<BenchRow> rows;
+  rows.push_back(ising_row(512, 100));
+  rows.push_back(ising_row(1024, 100));
+  rows.push_back(sor_row(1024, 100));
+  rows.push_back(sor_row(1280, 100));
+  rows.push_back(gauss_row(1024));
+  rows.push_back(asp_row(640));
+  rows.push_back(nbody_row(2048, 10));
+  rows.push_back(tsp_row());
+  rows.push_back(nqueens_row(14));
+  return rows;
+}
+
+BenchRow find_row(const std::string& label) {
+  for (auto& row : table1_rows()) {
+    if (row.label == label) return row;
+  }
+  for (auto& row : table23_rows()) {
+    if (row.label == label) return row;
+  }
+  throw std::invalid_argument(util::format("unknown benchmark row '{}'", label));
+}
+
+}  // namespace chk::harness

@@ -1,0 +1,35 @@
+// The paper's benchmark configurations.
+//
+// Table 1 compares 21 application configurations (eight ISING sizes, five
+// SOR sizes, two GAUSS, two ASP, NBODY, TSP, NQUEENS); Tables 2 and 3 use
+// nine of them with three checkpoints per run. Problem sizes are chosen so
+// the T805-calibrated runs last minutes of simulated time with per-node
+// checkpoints from a few KB (TSP, NQUEENS) to over a megabyte (large SOR /
+// GAUSS) — the same spread the paper's 4 MB nodes produced.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chklib/runtime.hpp"
+
+namespace chk::harness {
+
+struct BenchRow {
+  std::string label;
+  chklib::AppFn app;
+  /// Approximate per-node registered state, for reporting.
+  std::size_t approx_state_bytes = 0;
+};
+
+/// The 21 rows of Table 1, in the paper's order.
+[[nodiscard]] std::vector<BenchRow> table1_rows();
+
+/// The 9 rows of Tables 2 and 3 (SOR and ISING run 100 iterations, NBODY
+/// simulates 10 steps, as in the paper).
+[[nodiscard]] std::vector<BenchRow> table23_rows();
+
+/// Look a row up by label in either catalog (throws if unknown).
+[[nodiscard]] BenchRow find_row(const std::string& label);
+
+}  // namespace chk::harness

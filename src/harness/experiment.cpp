@@ -1,0 +1,97 @@
+#include "harness/experiment.hpp"
+
+#include <memory>
+
+#include "chklib/proto/coordinated.hpp"
+#include "chklib/proto/independent.hpp"
+#include "des/simulator.hpp"
+
+namespace chk::harness {
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  des::Simulator sim;
+  chklib::Runtime runtime(sim, config.machine, config.seed);
+  runtime.set_app(config.label, config.app);
+
+  std::unique_ptr<chklib::Protocol> protocol;
+  if (is_coordinated(config.scheme)) {
+    protocol = std::make_unique<chklib::CoordinatedProtocol>(
+        runtime,
+        chklib::CoordinatedProtocol::Config{.scheme = config.scheme,
+                                            .interval = config.interval,
+                                            .rounds = config.checkpoints,
+                                            .ablate_discard_state =
+                                                config.ablate_empty_checkpoints,
+                                            .incremental = config.incremental,
+                                            .full_every = config.full_every});
+  } else if (is_independent(config.scheme)) {
+    protocol = std::make_unique<chklib::IndependentProtocol>(
+        runtime, chklib::IndependentProtocol::Config{.scheme = config.scheme,
+                                                     .interval = config.interval,
+                                                     .count = config.checkpoints,
+                                                     .jitter = config.jitter,
+                                                     .gc = config.gc,
+                                                     .gc_mode = config.gc_mode,
+                                                     .recovery_mode = config.recovery_mode,
+                                                     .message_logging =
+                                                         config.message_logging});
+  }
+
+  std::unique_ptr<chklib::RecoveryManager> recovery;
+  if (protocol) {
+    protocol->start();
+    if (config.failure.has_value()) {
+      recovery = std::make_unique<chklib::RecoveryManager>(runtime, *protocol);
+      recovery->inject_failure_at(config.failure->when, config.failure->rank);
+    }
+  }
+
+  runtime.start_apps();
+  const auto run = runtime.run_to_completion(config.max_events);
+
+  ExperimentResult result;
+  result.label = config.label;
+  result.scheme = config.scheme;
+  result.exec_time_s = runtime.apps_finished_at().to_seconds();
+  result.events = sim.events_executed();
+
+  auto& machine = runtime.machine();
+  for (Rank r = 0; r < runtime.num_ranks(); ++r) {
+    result.interference_s += machine.node(r).interference_time().to_seconds();
+  }
+  if (protocol) result.app_blocked_s = protocol->stats().app_blocked.to_seconds();
+  result.disk_busy_s = machine.storage().disk().busy_time().to_seconds();
+  result.disk_wait_s = machine.storage().disk().wait_time().to_seconds();
+  result.host_link_busy_s = machine.storage().host_link().busy_time().to_seconds();
+  result.link_busy_s = machine.network().total_link_busy().to_seconds();
+
+  result.app_messages = runtime.comm().app_messages();
+  result.app_bytes = runtime.comm().app_bytes();
+  result.control_messages = runtime.comm().control_messages();
+  result.control_bytes = runtime.comm().control_bytes();
+  result.checkpoint_net_bytes = machine.network().bytes_sent(xplorer::Traffic::kCheckpoint);
+
+  if (protocol) {
+    const auto& stats = protocol->stats();
+    result.local_checkpoints = stats.local_checkpoints;
+    result.committed_rounds = stats.committed_rounds;
+    result.gc_reclaimed = stats.gc_reclaimed;
+  }
+  result.bytes_written = machine.storage().bytes_written();
+  result.peak_storage_bytes = machine.storage().peak_bytes();
+  result.final_storage_bytes = runtime.store().total_checkpoint_bytes();
+  result.final_stored_checkpoints = runtime.store().checkpoint_count();
+
+  result.digest = runtime.result_digest();
+  if (recovery) result.recoveries = recovery->reports();
+  (void)run;
+  return result;
+}
+
+ExperimentResult run_normal(ExperimentConfig config) {
+  config.scheme = Scheme::kNone;
+  config.failure.reset();
+  return run_experiment(config);
+}
+
+}  // namespace chk::harness

@@ -1,0 +1,97 @@
+// Experiment harness: build a machine + runtime + protocol + application,
+// run to completion, and collect every metric the paper's tables (and our
+// ablations) report.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chklib/proto/scheme.hpp"
+#include "chklib/recovery/line.hpp"
+#include "chklib/recovery/manager.hpp"
+#include "chklib/runtime.hpp"
+#include "xplorer/config.hpp"
+
+namespace chk::harness {
+
+using chklib::AppFn;
+using chklib::LineMode;
+using chklib::Rank;
+using chklib::RecoveryReport;
+using chklib::Scheme;
+
+struct FailureSpec {
+  des::TimePoint when;
+  Rank rank = 0;
+};
+
+struct ExperimentConfig {
+  std::string label = "app";
+  AppFn app;
+  Scheme scheme = Scheme::kNone;
+  /// Checkpoint interval (coordinated: between commits; independent: per
+  /// node between local checkpoints, jittered).
+  des::Duration interval = des::Duration::secs(60);
+  /// Number of checkpoints (coordinated rounds / per-node count); 0 = until done.
+  std::uint32_t checkpoints = 3;
+  double jitter = 0.15;
+  bool gc = false;
+  LineMode gc_mode = LineMode::kStrict;
+  LineMode recovery_mode = LineMode::kStrict;
+  /// Independent + pessimistic sender logging (use with kOrphanFree modes).
+  bool message_logging = false;
+  xplorer::MachineConfig machine = xplorer::MachineConfig::parsytec_xplorer();
+  std::uint64_t seed = 2026;
+  std::optional<FailureSpec> failure;
+  /// Safety valve: abort (throw) if the simulation exceeds this many events.
+  std::uint64_t max_events = std::uint64_t{1} << 40;
+  /// Ablation: coordinated checkpoints capture empty images (isolates the
+  /// protocol's synchronization cost). Incompatible with failure injection.
+  bool ablate_empty_checkpoints = false;
+  /// Incremental checkpointing (coordinated schemes only).
+  bool incremental = false;
+  std::uint32_t full_every = 4;
+};
+
+struct ExperimentResult {
+  std::string label;
+  Scheme scheme = Scheme::kNone;
+  double exec_time_s = 0;  ///< application completion time (simulated)
+  std::uint64_t events = 0;
+
+  // overhead breakdown
+  double app_blocked_s = 0;     ///< time application processes spent frozen/parked
+  double interference_s = 0;    ///< CPU stolen by background checkpoint writes
+  double disk_busy_s = 0;
+  double disk_wait_s = 0;       ///< queueing delay at the disk (contention)
+  double host_link_busy_s = 0;
+  double link_busy_s = 0;       ///< total mesh link busy time
+
+  // traffic
+  std::uint64_t app_messages = 0;
+  std::uint64_t app_bytes = 0;
+  std::uint64_t control_messages = 0;  ///< the protocols' synchronization cost
+  std::uint64_t control_bytes = 0;
+  std::uint64_t checkpoint_net_bytes = 0;
+
+  // checkpointing
+  std::uint64_t local_checkpoints = 0;
+  std::uint32_t committed_rounds = 0;
+  std::uint64_t gc_reclaimed = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t peak_storage_bytes = 0;
+  std::uint64_t final_storage_bytes = 0;
+  std::size_t final_stored_checkpoints = 0;
+
+  std::optional<double> digest;
+  std::vector<RecoveryReport> recoveries;
+};
+
+/// Run one experiment (one simulated execution).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Convenience: run the same app/machine without checkpointing.
+[[nodiscard]] ExperimentResult run_normal(ExperimentConfig config);
+
+}  // namespace chk::harness

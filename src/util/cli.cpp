@@ -1,0 +1,60 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace chk::util {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  bool passthrough = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (passthrough) { positional_.emplace_back(arg); continue; }
+    if (arg == "--") { passthrough = true; continue; }
+    if (arg.starts_with("--")) {
+      // Unambiguous grammar: --key=value assigns, --no-key clears, bare
+      // --key is boolean true. (A "--key value" form would make "value"
+      // indistinguishable from a positional argument.)
+      std::string_view body = arg.substr(2);
+      const auto eq = body.find('=');
+      if (eq != std::string_view::npos) {
+        values_[std::string(body.substr(0, eq))] = std::string(body.substr(eq + 1));
+      } else if (body.starts_with("no-")) {
+        values_[std::string(body.substr(3))] = "false";
+      } else {
+        values_[std::string(body)] = "true";
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return values_.contains(key); }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace chk::util

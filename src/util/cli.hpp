@@ -1,0 +1,34 @@
+// Tiny command-line flag parser used by examples and bench binaries.
+// Supports --name=value, --name value and boolean --flag forms; unknown
+// flags are preserved so google-benchmark flags can pass through.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chk::util {
+
+class Cli {
+ public:
+  /// Parses argv, consuming recognized "--key[=value]" tokens. Tokens after
+  /// "--" and unrecognized tokens are kept in remaining().
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace chk::util

@@ -1,0 +1,19 @@
+// Formatting shim.
+//
+// The toolchain (GCC 12) does not ship <format>, so we use the vendored
+// header-only {fmt} library under the project alias chk::util::format.
+// Call sites use CHK_FORMAT-style compile-time checked format strings via
+// fmt's FMT_STRING-free API (fmt checks literals at compile time since v8).
+#pragma once
+
+#define FMT_HEADER_ONLY 1
+#include <fmt/format.h>
+
+namespace chk::util {
+
+using fmt::format;
+
+template <typename... T>
+using format_string = fmt::format_string<T...>;
+
+}  // namespace chk::util

@@ -1,0 +1,37 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace chk::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() : sink_(&std::cerr) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) noexcept {
+  std::scoped_lock lock(mutex_);
+  sink_ = sink;
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  std::scoped_lock lock(mutex_);
+  if (sink_ == nullptr) return;
+  *sink_ << '[' << to_string(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace chk::util

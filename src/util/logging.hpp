@@ -1,0 +1,62 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded at any instant (the
+// DES kernel serializes simulated processes), so no locking is needed on
+// the hot path; a mutex still guards the sink for safety when host-side
+// tooling logs from other threads (CP.1).
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/format.hpp"
+
+namespace chk::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+std::string_view to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  /// Process-wide logger. Defaults to kWarn so tests and benches stay quiet.
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  /// Redirect output (default: stderr). The stream must outlive the logger use.
+  void set_sink(std::ostream* sink) noexcept;
+
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+  template <typename... Args>
+  void log(LogLevel level, std::string_view component,
+           format_string<Args...> fmt, Args&&... args) {
+    if (!enabled(level)) return;
+    write(level, component, format(fmt, std::forward<Args>(args)...));
+  }
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_;
+  std::mutex mutex_;
+};
+
+#define CHK_LOG(level, component, ...)                                        \
+  do {                                                                        \
+    auto& chk_logger_ = ::chk::util::Logger::instance();                      \
+    if (chk_logger_.enabled(level)) chk_logger_.log(level, component, __VA_ARGS__); \
+  } while (false)
+
+#define CHK_TRACE(component, ...) CHK_LOG(::chk::util::LogLevel::kTrace, component, __VA_ARGS__)
+#define CHK_DEBUG(component, ...) CHK_LOG(::chk::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define CHK_INFO(component, ...) CHK_LOG(::chk::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define CHK_WARN(component, ...) CHK_LOG(::chk::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define CHK_ERROR(component, ...) CHK_LOG(::chk::util::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace chk::util

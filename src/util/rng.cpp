@@ -1,0 +1,9 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace chk::util {
+
+double Rng::log_approx(double x) noexcept { return std::log(x); }
+
+}  // namespace chk::util

@@ -1,0 +1,88 @@
+// Streaming statistics accumulators used by the experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace chk::util {
+
+/// Welford online mean/variance plus min/max/sum.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept {
+    return count_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  void merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) { *this = other; return; }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    mean_ = (na * mean_ + nb * other.mean_) / n;
+    sum_ += other.sum_;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile over a retained sample set (small sample counts here).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Nearest-rank percentile, q in [0, 100].
+  [[nodiscard]] double percentile(double q) const {
+    if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace chk::util

@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include "util/format.hpp"
+#include <sstream>
+#include <utility>
+
+namespace chk::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { separators_.push_back(rows_.size()); }
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) digit_seen = true;
+    else if (c != '.' && c != '-' && c != '+' && c != '%' && c != ' ' &&
+             c != 'e' && c != 'E' && c != 'x' && c != 'K' && c != 'M' &&
+             c != 'G' && c != 'B' && c != 'i' && c != 's')
+      return false;
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+std::string Table::render(const std::string& title) const {
+  const std::size_t ncols = header_.size();
+  std::vector<std::size_t> width(ncols);
+  std::vector<bool> numeric(ncols, true);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!row[c].empty() && !looks_numeric(row[c])) numeric[c] = false;
+    }
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t c = 0; c < ncols; ++c) line += std::string(width[c] + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_right_numeric) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = row[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (align_right_numeric && numeric[c]) {
+        line += " " + std::string(pad, ' ') + cell + " |";
+      } else {
+        line += " " + cell + std::string(pad, ' ') + " |";
+      }
+    }
+    return line + "\n";
+  };
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n";
+  out << rule() << emit_row(header_, false) << rule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) != separators_.end()) out << rule();
+    out << emit_row(rows_[r], true);
+  }
+  out << rule();
+  return out.str();
+}
+
+std::string Table::fixed(double value, int digits) {
+  return util::format("{:.{}f}", value, digits);
+}
+
+std::string Table::percent(double fraction, int digits) {
+  return util::format("{:.{}f} %", fraction * 100.0, digits);
+}
+
+std::string Table::seconds(double value) {
+  if (value < 0.1) return util::format("{:.4f}s", value);
+  return util::format("{:.2f}s", value);
+}
+
+std::string Table::bytes(double value) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB"};
+  int unit = 0;
+  while (value >= 1024.0 && unit < 3) { value /= 1024.0; ++unit; }
+  return util::format("{:.1f} {}", value, kUnits[unit]);
+}
+
+std::string Table::integer(long long value) { return util::format("{}", value); }
+
+}  // namespace chk::util

@@ -1,0 +1,40 @@
+// ASCII table rendering for the paper-style result tables printed by the
+// benchmark harness (Tables 1-3 of the paper and the ablation studies).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace chk::util {
+
+/// Column-aligned text table. Cells are strings; use Table::cell helpers
+/// for consistent numeric formatting across all benches.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal separator before the next row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with a title, column alignment (numbers right-aligned
+  /// heuristically), and box-drawing separators.
+  [[nodiscard]] std::string render(const std::string& title = {}) const;
+
+  // Formatting helpers shared by all benches.
+  static std::string fixed(double value, int digits);
+  static std::string percent(double fraction, int digits);  // 0.0123 -> "1.23 %"
+  static std::string seconds(double value);
+  static std::string bytes(double value);
+  static std::string integer(long long value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices that get a rule above
+};
+
+}  // namespace chk::util

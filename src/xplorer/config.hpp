@@ -1,0 +1,77 @@
+// Machine-model configuration.
+//
+// Defaults are calibrated to the paper's testbed: a Parsytec Xplorer with
+// 8 T805 transputers (4 MB each) arranged in a 2x4 mesh of 20 Mbit/s
+// transputer links, attached through a host interface on node 0 to a
+// SunSparc host whose file system provides the (single, shared) stable
+// storage. Absolute rates are approximations from T805 documentation; the
+// reproduction targets relative behaviour, which is insensitive to modest
+// calibration error (see DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "des/time.hpp"
+
+namespace chk::xplorer {
+
+using NodeId = std::size_t;
+
+enum class TopologyKind {
+  kMesh2D,    ///< 2 x (n/2) mesh, XY routing (the Xplorer arrangement)
+  kRing,      ///< bidirectional ring
+  kStar,      ///< all nodes directly attached to the host node
+  kCrossbar,  ///< dedicated link per ordered pair (no network contention)
+};
+
+std::string to_string(TopologyKind kind);
+
+struct NodeConfig {
+  /// Sustained floating-point rate used to convert application work into
+  /// simulated time. T805 @30 MHz peaks ~4.3 MIPS; sustained FP ~0.7 MFLOP/s.
+  double cpu_flop_rate = 0.7e6;
+  /// Main-memory copy bandwidth (bytes/s) — the cost of main-memory
+  /// checkpointing's blocking copy. T805 internal/external RAM mix.
+  double mem_copy_bw = 20.0e6;
+  /// Fixed per-message software send/receive overhead.
+  des::Duration msg_sw_overhead = des::Duration::micros(40);
+  /// Per-byte CPU cost of staging a message (DMA setup amortized).
+  double msg_cpu_byte_rate = 40.0e6;  // bytes/s
+  /// Fraction of the CPU stolen from the application while the node's
+  /// checkpointer thread is streaming a background write to stable storage
+  /// (packetization + DMA servicing).
+  double background_io_cpu_steal = 0.12;
+};
+
+struct LinkConfig {
+  /// Effective unidirectional bandwidth of one transputer link.
+  /// Nominal 20 Mbit/s -> ~1.7 MB/s effective with protocol overheads.
+  double bandwidth = 1.7e6;  // bytes/s
+  /// Per-packet propagation + switching latency.
+  des::Duration latency = des::Duration::micros(8);
+};
+
+struct DiskConfig {
+  /// Host file-system write bandwidth (SunSparc-era local disk).
+  double bandwidth = 1.4e6;  // bytes/s
+  /// Per-operation positioning/syscall latency.
+  des::Duration latency = des::Duration::millis(14);
+};
+
+struct MachineConfig {
+  std::size_t num_nodes = 8;
+  TopologyKind topology = TopologyKind::kMesh2D;
+  NodeId host_node = 0;  ///< node carrying the host interface
+  std::size_t packet_bytes = 4096;
+  NodeConfig node;
+  LinkConfig link;
+  /// The host-interface link between the host node and the Sun host.
+  LinkConfig host_link{.bandwidth = 1.6e6, .latency = des::Duration::micros(20)};
+  DiskConfig disk;
+
+  /// The paper's testbed, unchanged.
+  static MachineConfig parsytec_xplorer() { return MachineConfig{}; }
+};
+
+}  // namespace chk::xplorer

@@ -1,0 +1,69 @@
+#include "xplorer/network.hpp"
+
+#include "util/format.hpp"
+
+namespace chk::xplorer {
+
+Network::Network(des::Simulator& sim, const MachineConfig& config)
+    : sim_(&sim),
+      config_(config),
+      topology_(Topology::build(config.topology, config.num_nodes)) {
+  links_.reserve(topology_.num_links());
+  for (std::size_t i = 0; i < topology_.num_links(); ++i) {
+    const auto& edge = topology_.edge(i);
+    links_.push_back(std::make_unique<FifoServer>(
+        sim, util::format("link{}->{}", edge.from, edge.to), config_.link.bandwidth,
+        config_.link.latency));
+  }
+}
+
+void Network::transfer(NodeId src, NodeId dst, std::size_t bytes, Traffic traffic,
+                       std::function<void()> on_delivered) {
+  bytes_sent_[static_cast<std::size_t>(traffic)] += bytes;
+  ++transfers_[static_cast<std::size_t>(traffic)];
+  if (src == dst) {
+    // Local loopback: software copy only; keep a tiny latency so ordering
+    // through the event queue matches remote sends' asynchrony.
+    const auto local = des::Duration::seconds(
+        static_cast<double>(bytes) / config_.node.mem_copy_bw);
+    sim_->schedule_after(local + des::Duration::micros(5), std::move(on_delivered));
+    return;
+  }
+  const auto route = topology_.route(src, dst);
+  const std::size_t packet = config_.packet_bytes;
+  const std::size_t packets = bytes == 0 ? 1 : (bytes + packet - 1) / packet;
+  auto pending = std::make_shared<Pending>(Pending{packets, std::move(on_delivered)});
+  std::size_t remaining = bytes;
+  for (std::size_t p = 0; p < packets; ++p) {
+    const std::size_t chunk = (bytes == 0) ? 0 : std::min(packet, remaining);
+    remaining -= chunk;
+    forward(route, 0, chunk, pending);
+  }
+}
+
+void Network::forward(std::span<const std::size_t> route, std::size_t hop, std::size_t bytes,
+                      const std::shared_ptr<Pending>& pending) {
+  if (hop == route.size()) {
+    if (--pending->packets_remaining == 0 && pending->on_delivered) {
+      pending->on_delivered();
+    }
+    return;
+  }
+  links_[route[hop]]->submit(bytes, [this, route, hop, bytes, pending] {
+    forward(route, hop + 1, bytes, pending);
+  });
+}
+
+des::Duration Network::total_link_busy() const noexcept {
+  des::Duration total;
+  for (const auto& link : links_) total += link->busy_time();
+  return total;
+}
+
+void Network::reset_stats() noexcept {
+  for (auto& link : links_) link->reset_stats();
+  for (auto& b : bytes_sent_) b = 0;
+  for (auto& t : transfers_) t = 0;
+}
+
+}  // namespace chk::xplorer

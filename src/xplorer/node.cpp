@@ -1,0 +1,45 @@
+#include "xplorer/node.hpp"
+
+namespace chk::xplorer {
+
+void Node::compute(des::Process& self, double flops) {
+  const auto base = des::Duration::seconds(flops / config_.cpu_flop_rate);
+  auto total = base;
+  if (background_io_ > 0) {
+    // The checkpointer thread steals a fixed CPU share while streaming.
+    total = base.scaled(1.0 / (1.0 - config_.background_io_cpu_steal));
+    interference_time_ += total - base;
+  }
+  compute_time_ += base;
+  self.delay(total);
+}
+
+void Node::mem_copy(des::Process& self, std::size_t bytes) {
+  const auto cost = mem_copy_time(bytes);
+  copy_time_ += cost;
+  self.delay(cost);
+}
+
+void Node::message_overhead(des::Process& self, std::size_t bytes) {
+  const auto cost = message_overhead_time(bytes);
+  message_time_ += cost;
+  self.delay(cost);
+}
+
+des::Duration Node::message_overhead_time(std::size_t bytes) const noexcept {
+  return config_.msg_sw_overhead +
+         des::Duration::seconds(static_cast<double>(bytes) / config_.msg_cpu_byte_rate);
+}
+
+des::Duration Node::mem_copy_time(std::size_t bytes) const noexcept {
+  return des::Duration::seconds(static_cast<double>(bytes) / config_.mem_copy_bw);
+}
+
+void Node::reset_stats() noexcept {
+  compute_time_ = des::Duration::zero();
+  interference_time_ = des::Duration::zero();
+  copy_time_ = des::Duration::zero();
+  message_time_ = des::Duration::zero();
+}
+
+}  // namespace chk::xplorer

@@ -1,0 +1,107 @@
+#include "xplorer/storage.hpp"
+
+#include <utility>
+
+namespace chk::xplorer {
+
+StableStorage::StableStorage(des::Simulator& sim, Network& network,
+                             const MachineConfig& config)
+    : sim_(&sim),
+      network_(&network),
+      host_node_(config.host_node),
+      host_link_(sim, "host-link", config.host_link.bandwidth, config.host_link.latency),
+      disk_(sim, "disk", config.disk.bandwidth, config.disk.latency) {}
+
+void StableStorage::write(NodeId from, std::string key, std::vector<std::byte> data,
+                          std::function<void()> on_durable) {
+  const std::size_t bytes = data.size();
+  // Stage 1: mesh to the host node. Stage 2: host interface link.
+  // Stage 3: disk service. Data becomes durable at disk completion.
+  auto state = std::make_shared<std::pair<std::string, std::vector<std::byte>>>(
+      std::move(key), std::move(data));
+  network_->transfer(from, host_node_, bytes, Traffic::kCheckpoint,
+                     [this, bytes, state, on_durable = std::move(on_durable)]() mutable {
+    host_link_.submit(bytes, [this, bytes, state, on_durable = std::move(on_durable)]() mutable {
+      disk_.submit(bytes, [this, state, on_durable = std::move(on_durable)] {
+        store_now(state->first, std::move(state->second));
+        ++writes_completed_;
+        if (on_durable) on_durable();
+      });
+    });
+  });
+}
+
+void StableStorage::write_blocking(des::Process& self, NodeId from, std::string key,
+                                   std::vector<std::byte> data) {
+  des::Completion done(*sim_);
+  write(from, std::move(key), std::move(data), done.callback());
+  done.await(self);
+}
+
+void StableStorage::read(NodeId to, const std::string& key,
+                         std::function<void(std::vector<std::byte>)> on_read) {
+  std::vector<std::byte> data;
+  if (const auto it = files_.find(key); it != files_.end()) data = it->second;
+  const std::size_t bytes = data.size();
+  auto payload = std::make_shared<std::vector<std::byte>>(std::move(data));
+  disk_.submit(bytes, [this, to, bytes, payload, on_read = std::move(on_read)]() mutable {
+    host_link_.submit(bytes, [this, to, bytes, payload, on_read = std::move(on_read)]() mutable {
+      network_->transfer(host_node_, to, bytes, Traffic::kCheckpoint,
+                         [payload, on_read = std::move(on_read)] {
+        if (on_read) on_read(std::move(*payload));
+      });
+    });
+  });
+}
+
+std::vector<std::byte> StableStorage::read_blocking(des::Process& self, NodeId to,
+                                                    const std::string& key) {
+  des::Completion done(*sim_);
+  auto result = std::make_shared<std::vector<std::byte>>();
+  read(to, key, [result, cb = done.callback()](std::vector<std::byte> data) {
+    *result = std::move(data);
+    cb();
+  });
+  done.await(self);
+  return std::move(*result);
+}
+
+std::size_t StableStorage::size(const std::string& key) const {
+  const auto it = files_.find(key);
+  return it == files_.end() ? 0 : it->second.size();
+}
+
+void StableStorage::erase(const std::string& key) {
+  const auto it = files_.find(key);
+  if (it == files_.end()) return;
+  total_bytes_ -= it->second.size();
+  files_.erase(it);
+}
+
+std::vector<std::string> StableStorage::keys_with_prefix(const std::string& prefix) const {
+  std::vector<std::string> result;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    result.push_back(it->first);
+  }
+  return result;
+}
+
+void StableStorage::store_now(const std::string& key, std::vector<std::byte> data) {
+  bytes_written_ += data.size();
+  auto [it, inserted] = files_.try_emplace(key);
+  if (!inserted) total_bytes_ -= it->second.size();
+  total_bytes_ += data.size();
+  it->second = std::move(data);
+  peak_bytes_ = std::max(peak_bytes_, total_bytes_);
+}
+
+void StableStorage::reset_stats() noexcept {
+  host_link_.reset_stats();
+  disk_.reset_stats();
+  bytes_written_ = 0;
+  writes_completed_ = 0;
+  peak_bytes_ = total_bytes_;
+}
+
+}  // namespace chk::xplorer

@@ -1,0 +1,89 @@
+// Stable storage: the host file system.
+//
+// All nodes share one disk reached through the host-interface link attached
+// to the host node; checkpoint data first crosses the mesh to the host
+// node, then the host link, then queues at the disk — a write from node i
+// therefore contends with application traffic on the mesh AND with every
+// other node's writes at the host link and disk. This is the bottleneck
+// structure of the paper's testbed.
+//
+// Contents are real bytes, kept versioned by key, so recovery restores
+// actual process state and results can be verified bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "des/async.hpp"
+#include "des/process.hpp"
+#include "des/simulator.hpp"
+#include "xplorer/config.hpp"
+#include "xplorer/fifo_server.hpp"
+#include "xplorer/network.hpp"
+
+namespace chk::xplorer {
+
+class StableStorage {
+ public:
+  StableStorage(des::Simulator& sim, Network& network, const MachineConfig& config);
+  StableStorage(const StableStorage&) = delete;
+  StableStorage& operator=(const StableStorage&) = delete;
+
+  /// Timed write of `data` under `key` from node `from`. The key's content
+  /// becomes durable exactly when `on_durable` fires (kernel context); a
+  /// crash before that leaves the previous version (if any) intact.
+  void write(NodeId from, std::string key, std::vector<std::byte> data,
+             std::function<void()> on_durable);
+
+  /// Blocking variant for process context.
+  void write_blocking(des::Process& self, NodeId from, std::string key,
+                      std::vector<std::byte> data);
+
+  /// Timed read of `key`, delivered to node `to`. `on_read` receives a
+  /// copy of the data (empty vector if the key does not exist).
+  void read(NodeId to, const std::string& key, std::function<void(std::vector<std::byte>)> on_read);
+  std::vector<std::byte> read_blocking(des::Process& self, NodeId to, const std::string& key);
+
+  /// Metadata operations (modelled as free: the paper's protocols do them
+  /// rarely and their cost is subsumed in the per-write latency).
+  [[nodiscard]] bool exists(const std::string& key) const { return files_.contains(key); }
+  /// Zero-time view of a stored blob, for recovery *planning* (scanning
+  /// dependency metadata). Actual state transfer must use read()/
+  /// read_blocking() so it is timed. Throws std::out_of_range if missing.
+  [[nodiscard]] const std::vector<std::byte>& peek(const std::string& key) const {
+    return files_.at(key);
+  }
+  [[nodiscard]] std::size_t size(const std::string& key) const;
+  void erase(const std::string& key);
+  [[nodiscard]] std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  /// Durable bytes currently held / high-water mark.
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::uint64_t peak_bytes() const noexcept { return peak_bytes_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+  [[nodiscard]] std::uint64_t writes_completed() const noexcept { return writes_completed_; }
+
+  [[nodiscard]] FifoServer& disk() noexcept { return disk_; }
+  [[nodiscard]] FifoServer& host_link() noexcept { return host_link_; }
+  void reset_stats() noexcept;
+
+ private:
+  void store_now(const std::string& key, std::vector<std::byte> data);
+
+  des::Simulator* sim_;
+  Network* network_;
+  NodeId host_node_;
+  FifoServer host_link_;
+  FifoServer disk_;
+  std::map<std::string, std::vector<std::byte>> files_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t writes_completed_ = 0;
+};
+
+}  // namespace chk::xplorer

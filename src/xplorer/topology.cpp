@@ -1,0 +1,131 @@
+#include "xplorer/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include "util/format.hpp"
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace chk::xplorer {
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kMesh2D: return "mesh2d";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kCrossbar: return "crossbar";
+  }
+  return "?";
+}
+
+namespace {
+
+void add_bidi(std::vector<Topology::Edge>& edges, NodeId a, NodeId b) {
+  edges.push_back({a, b});
+  edges.push_back({b, a});
+}
+
+std::vector<Topology::Edge> build_edges(TopologyKind kind, std::size_t n) {
+  std::vector<Topology::Edge> edges;
+  switch (kind) {
+    case TopologyKind::kMesh2D: {
+      // rows x cols grid with rows = 2 when n is even and >= 4 (the
+      // Xplorer's 2x4 arrangement), otherwise a single row (pipeline).
+      const std::size_t rows = (n >= 4 && n % 2 == 0) ? 2 : 1;
+      const std::size_t cols = n / rows;
+      auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          if (c + 1 < cols) add_bidi(edges, id(r, c), id(r, c + 1));
+          if (r + 1 < rows) add_bidi(edges, id(r, c), id(r + 1, c));
+        }
+      }
+      break;
+    }
+    case TopologyKind::kRing: {
+      for (std::size_t i = 0; i < n; ++i) add_bidi(edges, i, (i + 1) % n);
+      break;
+    }
+    case TopologyKind::kStar: {
+      for (std::size_t i = 1; i < n; ++i) add_bidi(edges, 0, i);
+      break;
+    }
+    case TopologyKind::kCrossbar: {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (i != j) edges.push_back({i, j});
+        }
+      }
+      break;
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+Topology::Topology(std::size_t num_nodes, std::vector<Edge> edges)
+    : num_nodes_(num_nodes), edges_(std::move(edges)) {
+  compute_routes();
+}
+
+Topology Topology::build(TopologyKind kind, std::size_t num_nodes) {
+  if (num_nodes == 0) throw std::invalid_argument("topology: need at least one node");
+  if (num_nodes == 1) return Topology{1, {}};
+  if (kind == TopologyKind::kRing && num_nodes == 2) {
+    // A 2-ring would create parallel duplicate links; collapse to one pair.
+    std::vector<Edge> edges;
+    add_bidi(edges, 0, 1);
+    return Topology{2, std::move(edges)};
+  }
+  return Topology{num_nodes, build_edges(kind, num_nodes)};
+}
+
+void Topology::compute_routes() {
+  routes_.assign(num_nodes_ * num_nodes_, {});
+  // adjacency: for each node, outgoing (neighbour, link) sorted by neighbour
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adjacency(num_nodes_);
+  for (std::size_t link = 0; link < edges_.size(); ++link) {
+    adjacency[edges_[link].from].emplace_back(edges_[link].to, link);
+  }
+  for (auto& out : adjacency) std::sort(out.begin(), out.end());
+
+  for (NodeId src = 0; src < num_nodes_; ++src) {
+    // BFS from src with deterministic neighbour order.
+    constexpr auto kUnset = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> parent_link(num_nodes_, kUnset);
+    std::vector<bool> seen(num_nodes_, false);
+    seen[src] = true;
+    std::deque<NodeId> frontier{src};
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const auto& [v, link] : adjacency[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          parent_link[v] = link;
+          frontier.push_back(v);
+        }
+      }
+    }
+    for (NodeId dst = 0; dst < num_nodes_; ++dst) {
+      if (dst == src) continue;
+      if (!seen[dst]) {
+        throw std::runtime_error(
+            util::format("topology: node {} unreachable from {}", dst, src));
+      }
+      std::vector<std::size_t>& route = routes_[src * num_nodes_ + dst];
+      for (NodeId v = dst; v != src; v = edges_[parent_link[v]].from) {
+        route.push_back(parent_link[v]);
+      }
+      std::reverse(route.begin(), route.end());
+    }
+  }
+}
+
+std::span<const std::size_t> Topology::route(NodeId src, NodeId dst) const {
+  return routes_[src * num_nodes_ + dst];
+}
+
+}  // namespace chk::xplorer

@@ -1,0 +1,49 @@
+// Interconnect topology and static routing.
+//
+// Links are directed (a transputer link is a pair of opposite simplex
+// channels, each with its own bandwidth). Routes are precomputed shortest
+// paths with deterministic tie-breaking (lowest-numbered neighbour first),
+// which for the 2xN mesh coincides with XY routing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "xplorer/config.hpp"
+
+namespace chk::xplorer {
+
+class Topology {
+ public:
+  struct Edge {
+    NodeId from;
+    NodeId to;
+  };
+
+  static Topology build(TopologyKind kind, std::size_t num_nodes);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t num_links() const noexcept { return edges_.size(); }
+  [[nodiscard]] const Edge& edge(std::size_t link) const noexcept { return edges_[link]; }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Sequence of link indices from src to dst (empty iff src == dst).
+  [[nodiscard]] std::span<const std::size_t> route(NodeId src, NodeId dst) const;
+
+  /// Number of hops between src and dst.
+  [[nodiscard]] std::size_t distance(NodeId src, NodeId dst) const {
+    return route(src, dst).size();
+  }
+
+ private:
+  Topology(std::size_t num_nodes, std::vector<Edge> edges);
+  void compute_routes();
+
+  std::size_t num_nodes_;
+  std::vector<Edge> edges_;
+  // routes_[src * num_nodes_ + dst] = link indices along the path
+  std::vector<std::vector<std::size_t>> routes_;
+};
+
+}  // namespace chk::xplorer

@@ -1,0 +1,237 @@
+// Tests for the checkpoint core: serialization, registry capture/restore,
+// image round-trips, store naming/commit/GC bookkeeping.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "chklib/ckpt/image.hpp"
+#include "chklib/ckpt/registry.hpp"
+#include "chklib/ckpt/store.hpp"
+#include "des/process.hpp"
+#include "des/simulator.hpp"
+#include "util/serialize.hpp"
+#include "xplorer/machine.hpp"
+
+namespace chk::chklib {
+namespace {
+
+TEST(Serialize, RoundTripsScalarsAndBlobs) {
+  util::ByteWriter writer;
+  writer.put<std::int32_t>(-7);
+  writer.put<double>(3.25);
+  writer.put_string("hello");
+  writer.put_vector(std::vector<std::uint64_t>{1, 2, 3});
+  util::ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.get<std::int32_t>(), -7);
+  EXPECT_EQ(reader.get<double>(), 3.25);
+  EXPECT_EQ(reader.get_string(), "hello");
+  EXPECT_EQ(reader.get_vector<std::uint64_t>(), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  util::ByteWriter writer;
+  writer.put<std::uint64_t>(1000);  // a length prefix promising 1000 bytes
+  util::ByteReader reader(writer.bytes());
+  EXPECT_THROW((void)reader.get_bytes(), util::SerializeError);
+}
+
+TEST(Registry, CaptureRestoreRoundTrip) {
+  CheckpointRegistry registry;
+  std::vector<double> grid(64);
+  std::iota(grid.begin(), grid.end(), 0.0);
+  std::uint32_t iter = 17;
+  registry.register_vector("grid", grid);
+  registry.register_value("iter", iter);
+  EXPECT_EQ(registry.state_bytes(), 64 * sizeof(double) + sizeof(std::uint32_t));
+
+  const auto blob = registry.capture();
+  // mutate, then restore
+  grid.assign(64, -1.0);
+  iter = 999;
+  registry.restore(blob);
+  EXPECT_EQ(grid[5], 5.0);
+  EXPECT_EQ(iter, 17u);
+}
+
+TEST(Registry, DuplicateNameRejected) {
+  CheckpointRegistry registry;
+  int x = 0;
+  registry.register_value("x", x);
+  EXPECT_THROW(registry.register_value("x", x), RegistryError);
+}
+
+TEST(Registry, RestoreMismatchThrows) {
+  CheckpointRegistry a;
+  int x = 1;
+  a.register_value("x", x);
+  const auto blob = a.capture();
+
+  CheckpointRegistry b;
+  double y = 0;
+  b.register_value("x", y);  // same name, wrong size
+  EXPECT_THROW(b.restore(blob), RegistryError);
+
+  CheckpointRegistry c;
+  int z = 0;
+  c.register_value("z", z);  // wrong name
+  EXPECT_THROW(c.restore(blob), RegistryError);
+}
+
+TEST(Registry, ClearForgetsRegions) {
+  CheckpointRegistry registry;
+  int x = 0;
+  registry.register_value("x", x);
+  registry.clear();
+  EXPECT_EQ(registry.region_count(), 0u);
+  registry.register_value("x", x);  // re-registration OK after clear
+  EXPECT_EQ(registry.region_count(), 1u);
+}
+
+TEST(Image, SerializeDeserializeRoundTrip) {
+  CheckpointImage image;
+  image.rank = 5;
+  image.index = 3;
+  image.captured_at_ns = 123456789;
+  image.state = {std::byte{1}, std::byte{2}, std::byte{3}};
+  image.sends = {{2, 10, 1}, {4, 11, 1}};
+  image.recvs = {{7, 5, 0, 1}};
+  const auto blob = image.serialize();
+  const auto copy = CheckpointImage::deserialize(blob);
+  EXPECT_EQ(copy.rank, 5u);
+  EXPECT_EQ(copy.index, 3u);
+  EXPECT_EQ(copy.captured_at_ns, 123456789);
+  EXPECT_EQ(copy.state, image.state);
+  ASSERT_EQ(copy.sends.size(), 2u);
+  EXPECT_EQ(copy.sends[1].dst, 4u);
+  ASSERT_EQ(copy.recvs.size(), 1u);
+  EXPECT_EQ(copy.recvs[0].src, 7u);
+}
+
+TEST(Image, BadMagicRejected) {
+  std::vector<std::byte> garbage(64, std::byte{0});
+  EXPECT_THROW((void)CheckpointImage::deserialize(garbage), util::SerializeError);
+}
+
+TEST(ChannelLogTest, RoundTripsEnvelopes) {
+  ChannelLog log;
+  Envelope env;
+  env.src = 1;
+  env.dst = 2;
+  env.tag = 42;
+  env.epoch = 7;
+  env.seq = 99;
+  env.payload = {std::byte{0xab}, std::byte{0xcd}};
+  log.messages.push_back(env);
+  const auto blob = log.serialize();
+  const auto copy = ChannelLog::deserialize(blob);
+  ASSERT_EQ(copy.messages.size(), 1u);
+  EXPECT_EQ(copy.messages[0].src, 1u);
+  EXPECT_EQ(copy.messages[0].tag, 42);
+  EXPECT_EQ(copy.messages[0].payload, env.payload);
+  EXPECT_EQ(log.payload_bytes(), 2u);
+}
+
+struct StoreFixture {
+  des::Simulator sim;
+  xplorer::Machine machine{sim, xplorer::MachineConfig::parsytec_xplorer()};
+  CheckpointStore store{machine.storage()};
+};
+
+TEST(Store, KeysAreStable) {
+  EXPECT_EQ(CheckpointStore::image_key(3, 12), "ckpt/p3/v00000012");
+  EXPECT_EQ(CheckpointStore::log_key(3, 12), "ckpt/p3/v00000012.log");
+}
+
+TEST(Store, WriteLoadRoundTrip) {
+  StoreFixture f;
+  f.sim.spawn("p", [&](des::Process& self) {
+    CheckpointImage image;
+    image.rank = 2;
+    image.index = 1;
+    image.state = std::vector<std::byte>(500, std::byte{7});
+    f.store.write_image_blocking(self, 2, image);
+    EXPECT_TRUE(f.store.has_image(2, 1));
+    const auto loaded = f.store.load_image_blocking(self, 2, 1);
+    EXPECT_EQ(loaded.state, image.state);
+  });
+  EXPECT_EQ(f.sim.run().reason, des::StopReason::kIdle);
+}
+
+TEST(Store, CommitRecordAdvancesEpoch) {
+  StoreFixture f;
+  f.sim.spawn("p", [&](des::Process& self) {
+    EXPECT_EQ(f.store.committed_epoch(), 0u);
+    f.store.write_commit_blocking(self, 0, 1);
+    EXPECT_EQ(f.store.committed_epoch(), 1u);
+    f.store.write_commit_blocking(self, 0, 2);
+    EXPECT_EQ(f.store.committed_epoch(), 2u);
+  });
+  f.sim.run();
+}
+
+TEST(Store, SavedIndicesSortedAndLogExcluded) {
+  StoreFixture f;
+  f.sim.spawn("p", [&](des::Process& self) {
+    for (std::uint32_t v : {3u, 1u, 2u}) {
+      CheckpointImage image;
+      image.rank = 0;
+      image.index = v;
+      f.store.write_image_blocking(self, 0, image);
+    }
+    ChannelLog log;
+    f.store.write_log_blocking(self, 0, 2, log);
+    EXPECT_EQ(f.store.saved_indices(0), (std::vector<std::uint32_t>{1, 2, 3}));
+    EXPECT_EQ(f.store.checkpoint_count(), 3u);
+  });
+  f.sim.run();
+}
+
+TEST(Store, EraseRemovesImageAndLog) {
+  StoreFixture f;
+  f.sim.spawn("p", [&](des::Process& self) {
+    CheckpointImage image;
+    image.rank = 1;
+    image.index = 4;
+    f.store.write_image_blocking(self, 1, image);
+    f.store.write_log_blocking(self, 1, 4, ChannelLog{});
+    EXPECT_GT(f.store.bytes_for(1), 0u);
+    f.store.erase(1, 4);
+    EXPECT_FALSE(f.store.has_image(1, 4));
+    EXPECT_EQ(f.store.bytes_for(1), 0u);
+  });
+  f.sim.run();
+}
+
+TEST(Store, MissingLogIsNullopt) {
+  StoreFixture f;
+  f.sim.spawn("p", [&](des::Process& self) {
+    CheckpointImage image;
+    image.rank = 0;
+    image.index = 1;
+    f.store.write_image_blocking(self, 0, image);
+    EXPECT_FALSE(f.store.load_log_blocking(self, 0, 1).has_value());
+  });
+  f.sim.run();
+}
+
+TEST(Store, PeekReadsWithoutSimTime) {
+  StoreFixture f;
+  f.sim.spawn("p", [&](des::Process& self) {
+    CheckpointImage image;
+    image.rank = 0;
+    image.index = 1;
+    image.sends = {{3, 8, 0}};
+    f.store.write_image_blocking(self, 0, image);
+    const auto t0 = self.now();
+    const auto peeked = f.store.peek_image(0, 1);
+    EXPECT_EQ(self.now(), t0);  // no simulated time consumed
+    ASSERT_EQ(peeked.sends.size(), 1u);
+    EXPECT_EQ(peeked.sends[0].dst, 3u);
+  });
+  f.sim.run();
+}
+
+}  // namespace
+}  // namespace chk::chklib

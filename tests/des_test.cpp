@@ -1,0 +1,488 @@
+// Unit tests for the discrete-event kernel: event ordering, process
+// lifecycle, kill semantics, synchronization primitives, determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "des/async.hpp"
+#include "des/process.hpp"
+#include "des/simulator.hpp"
+#include "des/sync.hpp"
+#include "des/time.hpp"
+
+namespace chk::des {
+namespace {
+
+TEST(Time, DurationArithmetic) {
+  EXPECT_EQ(Duration::millis(3).to_nanos(), 3'000'000);
+  EXPECT_EQ((Duration::secs(1) + Duration::millis(500)).to_seconds(), 1.5);
+  EXPECT_EQ(Duration::seconds(2.5).to_nanos(), 2'500'000'000);
+  EXPECT_LT(Duration::micros(1), Duration::millis(1));
+  EXPECT_EQ(Duration::millis(10) / Duration::millis(5), 2.0);
+  EXPECT_EQ(Duration::millis(9).scaled(2.0), Duration::millis(18));
+}
+
+TEST(Time, TimePointArithmetic) {
+  const TimePoint t = TimePoint::origin() + Duration::secs(3);
+  EXPECT_EQ(t.to_seconds(), 3.0);
+  EXPECT_EQ(t - TimePoint::origin(), Duration::secs(3));
+  EXPECT_EQ((t - Duration::secs(1)).to_seconds(), 2.0);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint::origin() + Duration::millis(20), [&] { order.push_back(2); });
+  sim.schedule_at(TimePoint::origin() + Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint::origin() + Duration::millis(30), [&] { order.push_back(3); });
+  const auto result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kIdle);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(30));
+}
+
+TEST(Simulator, EqualTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const auto t = TimePoint::origin() + Duration::millis(5);
+  for (int i = 0; i < 10; ++i) sim.schedule_at(t, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_after(Duration::millis(10), [&] {
+    EXPECT_THROW(sim.schedule_at(TimePoint::origin(), [] {}), SimError);
+  });
+  sim.run();
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  auto handle = sim.schedule_after(Duration::millis(1), [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, HandleNotPendingAfterRun) {
+  Simulator sim;
+  auto handle = sim.schedule_after(Duration::millis(1), [] {});
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int count = 0;
+  // self-rescheduling ticker
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.schedule_after(Duration::millis(10), tick);
+  };
+  sim.schedule_after(Duration::millis(10), tick);
+  const auto result = sim.run(TimePoint::origin() + Duration::millis(55));
+  EXPECT_EQ(result.reason, StopReason::kTimeLimit);
+  EXPECT_EQ(count, 5);
+  // continuing picks up where we left off
+  const auto result2 = sim.run(TimePoint::origin() + Duration::millis(105));
+  EXPECT_EQ(result2.reason, StopReason::kTimeLimit);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, EventLimitStops) {
+  Simulator sim;
+  std::function<void()> tick = [&] { sim.schedule_after(Duration::millis(1), tick); };
+  sim.schedule_now(tick);
+  const auto result = sim.run(TimePoint::max(), 100);
+  EXPECT_EQ(result.reason, StopReason::kEventLimit);
+  EXPECT_EQ(result.events_executed, 100u);
+}
+
+TEST(Simulator, StopRequest) {
+  Simulator sim;
+  sim.schedule_after(Duration::millis(1), [&] { sim.stop(); });
+  sim.schedule_after(Duration::millis(2), [] { FAIL() << "should not run"; });
+  const auto result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kStopped);
+}
+
+TEST(Process, BodyRunsAndAdvancesTime) {
+  Simulator sim;
+  std::vector<double> timestamps;
+  sim.spawn("p", [&](Process& self) {
+    timestamps.push_back(self.now().to_seconds());
+    self.delay(Duration::secs(2));
+    timestamps.push_back(self.now().to_seconds());
+    self.delay(Duration::millis(500));
+    timestamps.push_back(self.now().to_seconds());
+  });
+  const auto result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kIdle);
+  ASSERT_EQ(timestamps.size(), 3u);
+  EXPECT_DOUBLE_EQ(timestamps[0], 0.0);
+  EXPECT_DOUBLE_EQ(timestamps[1], 2.0);
+  EXPECT_DOUBLE_EQ(timestamps[2], 2.5);
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(Process, TwoProcessesInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<std::string> log;
+  sim.spawn("a", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) {
+      log.push_back("a" + std::to_string(i));
+      self.delay(Duration::millis(10));
+    }
+  });
+  sim.spawn("b", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) {
+      log.push_back("b" + std::to_string(i));
+      self.delay(Duration::millis(15));
+    }
+  });
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a0", "b0", "a1", "b1", "a2", "b2"}));
+}
+
+TEST(Process, SpawnAtDelaysStart) {
+  Simulator sim;
+  double started = -1;
+  sim.spawn_at(TimePoint::origin() + Duration::secs(5), "late",
+               [&](Process& self) { started = self.now().to_seconds(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(started, 5.0);
+}
+
+TEST(Process, UncaughtExceptionIsRecorded) {
+  Simulator sim;
+  auto& proc = sim.spawn("bad", [](Process&) { throw std::runtime_error("boom"); });
+  sim.run();
+  EXPECT_TRUE(proc.finished());
+  EXPECT_EQ(proc.error(), "boom");
+}
+
+TEST(Process, KillWhileBlockedUnwindsRaii) {
+  Simulator sim;
+  bool cleaned_up = false;
+  bool after_delay = false;
+  auto& victim = sim.spawn("victim", [&](Process& self) {
+    struct Guard {
+      bool* flag;
+      ~Guard() { *flag = true; }
+    } guard{&cleaned_up};
+    self.delay(Duration::secs(100));
+    after_delay = true;
+  });
+  sim.schedule_after(Duration::secs(1), [&] { sim.kill(victim); });
+  const auto result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kIdle);
+  EXPECT_TRUE(victim.finished());
+  EXPECT_TRUE(cleaned_up);
+  EXPECT_FALSE(after_delay);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::secs(1));
+}
+
+TEST(Process, KillBeforeStartPreventsBody) {
+  Simulator sim;
+  bool ran = false;
+  auto& victim = sim.spawn_at(TimePoint::origin() + Duration::secs(10), "victim",
+                              [&](Process&) { ran = true; });
+  sim.schedule_after(Duration::secs(1), [&] { sim.kill(victim); });
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(victim.finished());
+}
+
+TEST(Process, SelfKillThrows) {
+  Simulator sim;
+  bool after = false;
+  auto& victim = sim.spawn("self", [&](Process& self) {
+    self.sim().kill(self);
+    after = true;
+  });
+  sim.run();
+  EXPECT_TRUE(victim.finished());
+  EXPECT_FALSE(after);
+  EXPECT_TRUE(victim.error().empty());  // ProcessKilled is not an error
+}
+
+TEST(Process, KillFinishedIsNoop) {
+  Simulator sim;
+  auto& proc = sim.spawn("done", [](Process&) {});
+  sim.run();
+  EXPECT_TRUE(proc.finished());
+  sim.kill(proc);  // must not throw or deadlock
+  sim.run();
+}
+
+TEST(Process, DestructorTearsDownBlockedProcesses) {
+  bool cleaned_up = false;
+  {
+    Simulator sim;
+    sim.spawn("stuck", [&](Process& self) {
+      struct Guard {
+        bool* flag;
+        ~Guard() { *flag = true; }
+      } guard{&cleaned_up};
+      self.delay(Duration::secs(1000));
+    });
+    sim.run(TimePoint::origin() + Duration::secs(1));
+    // sim destroyed with the process still blocked
+  }
+  EXPECT_TRUE(cleaned_up);
+}
+
+TEST(Semaphore, BlocksUntilRelease) {
+  Simulator sim;
+  SimSemaphore sem(sim, 0);
+  std::vector<std::string> log;
+  sim.spawn("waiter", [&](Process& self) {
+    log.push_back("wait@" + std::to_string(self.now().to_nanos()));
+    sem.acquire(self);
+    log.push_back("got@" + std::to_string(self.now().to_nanos()));
+  });
+  sim.spawn("poster", [&](Process& self) {
+    self.delay(Duration::nanos(50));
+    sem.release();
+  });
+  sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1], "got@50");
+}
+
+TEST(Semaphore, InitialCountAdmitsWithoutBlocking) {
+  Simulator sim;
+  SimSemaphore sem(sim, 2);
+  int acquired = 0;
+  sim.spawn("p", [&](Process& self) {
+    sem.acquire(self);
+    sem.acquire(self);
+    acquired = 2;
+    EXPECT_FALSE(sem.try_acquire());
+  });
+  sim.run();
+  EXPECT_EQ(acquired, 2);
+}
+
+TEST(Semaphore, FifoWakeOrder) {
+  Simulator sim;
+  SimSemaphore sem(sim, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn_at(TimePoint::origin() + Duration::millis(i), "w" + std::to_string(i),
+                 [&, i](Process& self) {
+                   sem.acquire(self);
+                   order.push_back(i);
+                 });
+  }
+  sim.schedule_after(Duration::secs(1), [&] { sem.release(); sem.release(); sem.release(); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Semaphore, KilledWaiterDoesNotConsumeUnit) {
+  Simulator sim;
+  SimSemaphore sem(sim, 0);
+  bool second_got = false;
+  auto& first = sim.spawn("first", [&](Process& self) { sem.acquire(self); });
+  sim.spawn_at(TimePoint::origin() + Duration::millis(1), "second", [&](Process& self) {
+    sem.acquire(self);
+    second_got = true;
+  });
+  sim.schedule_after(Duration::millis(2), [&] { sim.kill(first); });
+  sim.schedule_after(Duration::millis(3), [&] { sem.release(); });
+  sim.run();
+  EXPECT_TRUE(second_got);
+  EXPECT_EQ(sem.count(), 0);
+}
+
+TEST(Mailbox, DeliversInOrder) {
+  Simulator sim;
+  SimMailbox<int> box(sim);
+  std::vector<int> received;
+  sim.spawn("rx", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) received.push_back(box.recv(self));
+  });
+  sim.spawn("tx", [&](Process& self) {
+    for (int i = 1; i <= 3; ++i) {
+      box.send(i * 10);
+      self.delay(Duration::millis(1));
+    }
+  });
+  sim.run();
+  EXPECT_EQ(received, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Mailbox, TryRecvNonBlocking) {
+  Simulator sim;
+  SimMailbox<int> box(sim);
+  sim.spawn("p", [&](Process&) {
+    EXPECT_FALSE(box.try_recv().has_value());
+    box.send(5);
+    auto v = box.try_recv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 5);
+  });
+  sim.run();
+}
+
+TEST(Mailbox, ClearDropsQueued) {
+  Simulator sim;
+  SimMailbox<int> box(sim);
+  sim.spawn("p", [&](Process&) {
+    box.send(1);
+    box.send(2);
+    box.clear();
+    EXPECT_TRUE(box.empty());
+  });
+  sim.run();
+}
+
+TEST(Mailbox, KilledReceiverLeavesMessageForOthers) {
+  Simulator sim;
+  SimMailbox<int> box(sim);
+  int got = 0;
+  auto& victim = sim.spawn("victim", [&](Process& self) { got = box.recv(self) * 100; });
+  sim.spawn_at(TimePoint::origin() + Duration::millis(1), "other",
+               [&](Process& self) { got = box.recv(self); });
+  sim.schedule_after(Duration::millis(2), [&] { sim.kill(victim); });
+  sim.schedule_after(Duration::millis(3), [&] { box.send(7); });
+  sim.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Barrier, ReleasesAllTogether) {
+  Simulator sim;
+  SimBarrier barrier(sim, 3);
+  std::vector<double> release_times;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn("p" + std::to_string(i), [&, i](Process& self) {
+      self.delay(Duration::millis(10 * (i + 1)));
+      barrier.arrive_and_wait(self);
+      release_times.push_back(self.now().to_seconds());
+    });
+  }
+  sim.run();
+  ASSERT_EQ(release_times.size(), 3u);
+  for (double t : release_times) EXPECT_DOUBLE_EQ(t, 0.030);
+}
+
+TEST(Barrier, Reusable) {
+  Simulator sim;
+  SimBarrier barrier(sim, 2);
+  int rounds_done = 0;
+  for (int p = 0; p < 2; ++p) {
+    sim.spawn("p" + std::to_string(p), [&, p](Process& self) {
+      for (int round = 0; round < 5; ++round) {
+        self.delay(Duration::millis(p == 0 ? 3 : 7));
+        barrier.arrive_and_wait(self);
+      }
+      ++rounds_done;
+    });
+  }
+  const auto result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kIdle);
+  EXPECT_EQ(rounds_done, 2);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 0.035);
+}
+
+TEST(Resource, SerializesUsers) {
+  Simulator sim;
+  SimResource res(sim, "disk");
+  std::vector<double> done_times;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn("u" + std::to_string(i), [&](Process& self) {
+      res.use(self, Duration::secs(1));
+      done_times.push_back(self.now().to_seconds());
+    });
+  }
+  sim.run();
+  ASSERT_EQ(done_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(done_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(done_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(done_times[2], 3.0);
+  EXPECT_DOUBLE_EQ(res.busy_time().to_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(res.queue_time().to_seconds(), 3.0);  // 0 + 1 + 2
+}
+
+TEST(Resource, KilledHolderReleases) {
+  Simulator sim;
+  SimResource res(sim, "r");
+  bool second_done = false;
+  auto& holder = sim.spawn("holder", [&](Process& self) { res.use(self, Duration::secs(100)); });
+  sim.spawn_at(TimePoint::origin() + Duration::millis(1), "second", [&](Process& self) {
+    res.use(self, Duration::secs(1));
+    second_done = true;
+  });
+  sim.schedule_after(Duration::secs(2), [&] { sim.kill(holder); });
+  const auto result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kIdle);
+  EXPECT_TRUE(second_done);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 3.0);
+}
+
+TEST(Completion, AwaitBlocksUntilCallback) {
+  Simulator sim;
+  Completion done(sim);
+  double when = -1;
+  sim.spawn("p", [&](Process& self) {
+    done.await(self);
+    when = self.now().to_seconds();
+  });
+  sim.schedule_after(Duration::secs(3), done.callback());
+  sim.run();
+  EXPECT_DOUBLE_EQ(when, 3.0);
+}
+
+TEST(Completion, LateCallbackAfterKillIsSafe) {
+  Simulator sim;
+  Completion done(sim);
+  auto& victim = sim.spawn("p", [&](Process& self) { done.await(self); });
+  sim.schedule_after(Duration::secs(1), [&] { sim.kill(victim); });
+  sim.schedule_after(Duration::secs(2), done.callback());
+  const auto result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kIdle);
+  EXPECT_TRUE(victim.finished());
+}
+
+TEST(Simulator, DeadlockDetected) {
+  Simulator sim;
+  SimSemaphore sem(sim, 0);
+  sim.spawn("stuck", [&](Process& self) { sem.acquire(self); });
+  const auto result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kDeadlock);
+  EXPECT_EQ(sim.live_processes(), 1u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    SimMailbox<int> box(sim);
+    std::vector<std::int64_t> trace;
+    sim.spawn("a", [&](Process& self) {
+      for (int i = 0; i < 50; ++i) {
+        self.delay(Duration::micros(7));
+        box.send(i);
+        trace.push_back(self.now().to_nanos());
+      }
+    });
+    sim.spawn("b", [&](Process& self) {
+      for (int i = 0; i < 50; ++i) {
+        trace.push_back(static_cast<std::int64_t>(box.recv(self)));
+        self.delay(Duration::micros(3));
+      }
+    });
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace chk::des

@@ -1,0 +1,179 @@
+// Tests for the experiment harness and the paper-benchmark catalog, plus
+// cross-scheme parameterized sweeps (every scheme must terminate, keep the
+// result intact and produce sane metrics) and multi-failure recovery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/sor.hpp"
+#include "chklib/proto/coordinated.hpp"
+#include "harness/catalog.hpp"
+#include "harness/experiment.hpp"
+
+namespace chk::harness {
+namespace {
+
+ExperimentConfig small_sor(Scheme scheme = Scheme::kNone) {
+  ExperimentConfig config;
+  config.label = "SOR";
+  config.app = apps::make_sor({.n = 96, .iterations = 80});
+  config.scheme = scheme;
+  config.interval = des::Duration::millis(200);
+  config.checkpoints = 3;
+  return config;
+}
+
+TEST(Catalog, Table1HasThePapersTwentyOneRows) {
+  const auto rows = table1_rows();
+  EXPECT_EQ(rows.size(), 21u);
+  std::size_t ising = 0, sor = 0;
+  std::set<std::string> labels;
+  for (const auto& row : rows) {
+    EXPECT_TRUE(labels.insert(row.label).second) << "duplicate " << row.label;
+    ising += row.label.starts_with("ISING");
+    sor += row.label.starts_with("SOR");
+  }
+  EXPECT_EQ(ising, 8u);
+  EXPECT_EQ(sor, 6u);
+}
+
+TEST(Catalog, Table23HasNineRows) {
+  const auto rows = table23_rows();
+  EXPECT_EQ(rows.size(), 9u);
+}
+
+TEST(Catalog, FindRowByLabel) {
+  EXPECT_EQ(find_row("NBODY-2048").label, "NBODY-2048");
+  EXPECT_EQ(find_row("TSP").label, "TSP");
+  EXPECT_THROW((void)find_row("NOPE"), std::invalid_argument);
+}
+
+TEST(Catalog, EveryRowRunsAndReportsADigest) {
+  // Smoke over the whole catalog with the smallest machine-compatible
+  // subset (run only a sample to keep test time low; the bench suite
+  // exercises all rows).
+  for (const char* label : {"ISING-256", "SOR-384", "GAUSS-768", "ASP-512"}) {
+    ExperimentConfig config;
+    const auto row = find_row(label);
+    config.label = row.label;
+    config.app = row.app;
+    const auto result = run_normal(config);
+    EXPECT_TRUE(result.digest.has_value()) << label;
+    EXPECT_GT(result.exec_time_s, 0.0) << label;
+  }
+}
+
+TEST(Experiment, NormalRunHasNoCheckpointMetrics) {
+  const auto result = run_experiment(small_sor());
+  EXPECT_EQ(result.local_checkpoints, 0u);
+  EXPECT_EQ(result.control_messages, 0u);
+  EXPECT_EQ(result.bytes_written, 0u);
+  EXPECT_EQ(result.app_blocked_s, 0.0);
+  EXPECT_GT(result.app_messages, 0u);
+}
+
+TEST(Experiment, MetricsAreInternallyConsistent) {
+  const auto normal = run_experiment(small_sor());
+  const auto result = run_experiment(small_sor(Scheme::kCoordNB));
+  EXPECT_GE(result.exec_time_s, normal.exec_time_s);
+  EXPECT_GT(result.local_checkpoints, 0u);
+  EXPECT_GT(result.bytes_written, 0u);
+  EXPECT_GT(result.checkpoint_net_bytes, 0u);
+  EXPECT_GT(result.app_blocked_s, 0.0);
+  // blocked time cannot exceed ranks x added wall time by much
+  EXPECT_LT(result.app_blocked_s,
+            (result.exec_time_s - normal.exec_time_s) * 8.0 + 1.0);
+  EXPECT_EQ(result.digest, normal.digest);
+}
+
+class SchemeSweep : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SchemeSweep, RunsVerifiesAndCollects) {
+  const auto normal = run_experiment(small_sor());
+  const auto result = run_experiment(small_sor(GetParam()));
+  EXPECT_EQ(result.digest, normal.digest) << to_string(GetParam());
+  EXPECT_GT(result.local_checkpoints, 0u);
+  EXPECT_GE(result.exec_time_s, normal.exec_time_s);
+}
+
+TEST_P(SchemeSweep, SurvivesAFailure) {
+  const auto normal = run_experiment(small_sor());
+  auto config = small_sor(GetParam());
+  config.checkpoints = 0;
+  config.failure = FailureSpec{
+      des::TimePoint::origin() + des::Duration::seconds(normal.exec_time_s * 0.55), 6};
+  const auto result = run_experiment(config);
+  ASSERT_EQ(result.recoveries.size(), 1u) << to_string(GetParam());
+  EXPECT_EQ(result.digest, normal.digest) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeSweep,
+                         ::testing::Values(Scheme::kCoordNB, Scheme::kCoordNBS,
+                                           Scheme::kCoordNBM, Scheme::kCoordNBMS,
+                                           Scheme::kIndep, Scheme::kIndepM,
+                                           Scheme::kIndepMS),
+                         [](const ::testing::TestParamInfo<Scheme>& param_info) {
+                           std::string name(to_string(param_info.param));
+                           for (char& c : name) {
+                             if (c == '_') c = '0';
+                           }
+                           return name;
+                         });
+
+TEST(Experiment, TwoFailuresBackToBack) {
+  const auto normal = run_experiment(small_sor());
+  auto config = small_sor(Scheme::kCoordNB);
+  config.checkpoints = 0;
+
+  des::Simulator sim;
+  chklib::Runtime runtime(sim, config.machine, config.seed);
+  runtime.set_app(config.label, config.app);
+  chklib::CoordinatedProtocol protocol(
+      runtime, {.scheme = config.scheme, .interval = config.interval, .rounds = 0});
+  chklib::RecoveryManager recovery(runtime, protocol);
+  protocol.start();
+  recovery.inject_failure_at(
+      des::TimePoint::origin() + des::Duration::seconds(normal.exec_time_s * 0.3), 1);
+  recovery.inject_failure_at(
+      des::TimePoint::origin() + des::Duration::seconds(normal.exec_time_s * 0.9), 5);
+  runtime.start_apps();
+  runtime.run_to_completion();
+  EXPECT_EQ(recovery.reports().size(), 2u);
+  EXPECT_EQ(runtime.result_digest().value(), normal.digest.value());
+}
+
+TEST(Experiment, FailureAfterCompletionIsIgnored) {
+  auto config = small_sor(Scheme::kCoordNB);
+  config.failure = FailureSpec{des::TimePoint::origin() + des::Duration::secs(100'000), 0};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.recoveries.empty());
+}
+
+TEST(Experiment, DeterministicAcrossRunsAllSchemes) {
+  for (Scheme scheme : {Scheme::kCoordNBMS, Scheme::kIndepM}) {
+    const auto a = run_experiment(small_sor(scheme));
+    const auto b = run_experiment(small_sor(scheme));
+    EXPECT_EQ(a.exec_time_s, b.exec_time_s);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.digest, b.digest);
+  }
+}
+
+TEST(Experiment, SeedChangesIndependentScheduleNotResult) {
+  auto config_a = small_sor(Scheme::kIndep);
+  auto config_b = small_sor(Scheme::kIndep);
+  config_b.seed = config_a.seed + 1;
+  const auto a = run_experiment(config_a);
+  const auto b = run_experiment(config_b);
+  EXPECT_EQ(a.digest, b.digest);          // application result is seed-free
+  EXPECT_NE(a.exec_time_s, b.exec_time_s);  // checkpoint jitter differs
+}
+
+TEST(Experiment, EventLimitRaises) {
+  auto config = small_sor();
+  config.max_events = 10;
+  EXPECT_THROW((void)run_experiment(config), des::SimError);
+}
+
+}  // namespace
+}  // namespace chk::harness

@@ -1,0 +1,232 @@
+// Tests for the recovery-line algorithms on hand-crafted dependency
+// structures: orphan detection, lost-message (strict) retraction, domino
+// cascades, GC reclamation, non-contiguous saved sets.
+#include <gtest/gtest.h>
+
+#include "chklib/recovery/line.hpp"
+#include "util/rng.hpp"
+
+namespace chk::chklib {
+namespace {
+
+ProcessHistory history(Rank rank, std::vector<std::uint32_t> saved,
+                       std::vector<SendRecord> sends = {},
+                       std::vector<RecvRecord> recvs = {}) {
+  ProcessHistory h;
+  h.rank = rank;
+  h.saved = std::move(saved);
+  h.sends = std::move(sends);
+  h.recvs = std::move(recvs);
+  return h;
+}
+
+TEST(Line, NoMessagesLineIsNewest) {
+  const std::vector<ProcessHistory> histories = {
+      history(0, {1, 2, 3}),
+      history(1, {1, 2}),
+  };
+  for (LineMode mode : {LineMode::kStrict, LineMode::kOrphanFree}) {
+    const auto result = compute_recovery_line(histories, mode);
+    EXPECT_EQ(result.line.index, (std::vector<std::uint32_t>{3, 2}));
+    EXPECT_EQ(result.rollbacks, 0u);
+  }
+}
+
+TEST(Line, NoCheckpointsMeansOrigin) {
+  const std::vector<ProcessHistory> histories = {history(0, {}), history(1, {})};
+  const auto result = compute_recovery_line(histories, LineMode::kStrict);
+  EXPECT_TRUE(result.line.at_origin());
+}
+
+TEST(Line, OrphanForcesReceiverBack) {
+  // p0 sent m in its interval 1 (send forgotten at line 1); p1 received m
+  // in its interval 0 and checkpointed afterwards (receive remembered at
+  // line 1) => orphan => p1 retracts to 0.
+  const std::vector<ProcessHistory> histories = {
+      history(0, {1}),
+      history(1, {1}, {}, {RecvRecord{0, /*seq=*/5, /*send_interval=*/1, /*recv_interval=*/0}}),
+  };
+  const auto result = compute_recovery_line(histories, LineMode::kOrphanFree);
+  EXPECT_EQ(result.line.index, (std::vector<std::uint32_t>{1, 0}));
+  EXPECT_EQ(result.rollbacks, 1u);
+}
+
+TEST(Line, MatchedSendRecvIsConsistent) {
+  // m sent in p0's interval 0 (remembered at line 1) and received in p1's
+  // interval 0 (remembered at line 1): both sides remembered, no rollback.
+  const std::vector<ProcessHistory> histories = {
+      history(0, {1}, {SendRecord{1, 5, 0}}),
+      history(1, {1}, {}, {RecvRecord{0, 5, 0, 0}}),
+  };
+  for (LineMode mode : {LineMode::kStrict, LineMode::kOrphanFree}) {
+    const auto result = compute_recovery_line(histories, mode);
+    EXPECT_EQ(result.line.index, (std::vector<std::uint32_t>{1, 1}));
+  }
+}
+
+TEST(Line, LostMessageRetractsSenderInStrictMode) {
+  // p0 sent m in interval 0 and checkpointed (send remembered); p1 never
+  // saved a matching receive. Strict: p0 must forget the send (roll to 0).
+  // Orphan-free: fine (a message log would replay m).
+  const std::vector<ProcessHistory> histories = {
+      history(0, {1}, {SendRecord{1, 5, 0}}),
+      history(1, {1}),
+  };
+  const auto strict = compute_recovery_line(histories, LineMode::kStrict);
+  EXPECT_EQ(strict.line.index, (std::vector<std::uint32_t>{0, 1}));
+  const auto weak = compute_recovery_line(histories, LineMode::kOrphanFree);
+  EXPECT_EQ(weak.line.index, (std::vector<std::uint32_t>{1, 1}));
+}
+
+TEST(Line, ReceiveAfterLineIsLostInStrictMode) {
+  // p1 did record the receive, but only in interval 1 (after its line-1
+  // checkpoint... recv_interval=1 >= L=1 means forgotten).
+  const std::vector<ProcessHistory> histories = {
+      history(0, {1}, {SendRecord{1, 5, 0}}),
+      history(1, {1, 2}, {}, {RecvRecord{0, 5, 0, 1}}),
+  };
+  // p1's newest is 2: receive in interval 1 < 2 is remembered => consistent.
+  const auto strict = compute_recovery_line(histories, LineMode::kStrict);
+  EXPECT_EQ(strict.line.index, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Line, DominoCascadeToOrigin) {
+  // Ping-pong with strictly interleaved checkpoints — the classic domino
+  // picture. p0 ckpts after each send; p1's receives and sends straddle
+  // its own checkpoints so every line choice exposes a crossing message.
+  //
+  // p0: send a (int 0), ckpt1, send b (int 1), ckpt2
+  // p1: recv a (int 0), ckpt1 ... recv b (int 1), ckpt2, and replies
+  //     r1 sent in p1 interval 0 received by p0 in interval 1 (volatile).
+  const std::vector<ProcessHistory> histories = {
+      history(0, {1, 2}, {SendRecord{1, 0, 0}, SendRecord{1, 1, 1}},
+              {}),
+      history(1, {1, 2}, {SendRecord{0, 0, 0}},
+              {RecvRecord{0, 0, 0, 0}, RecvRecord{0, 1, 1, 1}}),
+  };
+  // Strict: p1's send (interval 0) was received by p0 in p0's interval 1
+  // but p0 never saved that receive => p1 rolls to 0; then p0's send a
+  // (interval 0, remembered at any L>=1) has p1's receive (interval 0)
+  // forgotten (L1=0) => p0 rolls to 0.
+  const auto strict = compute_recovery_line(histories, LineMode::kStrict);
+  EXPECT_TRUE(strict.line.at_origin());
+  EXPECT_GE(strict.rollbacks, 2u);
+}
+
+TEST(Line, OrphanChainPropagates) {
+  // Three processes; orphan at the end of a chain pulls everyone down.
+  // p2 received from p1 (send forgotten) => p2 rolls back; p1 received
+  // from p0 in interval 0 with p0's send in interval 1 => p1 rolls back.
+  const std::vector<ProcessHistory> histories = {
+      history(0, {1}),
+      history(1, {1}, {}, {RecvRecord{0, 3, /*send_interval=*/1, /*recv_interval=*/0}}),
+      history(2, {1}, {}, {RecvRecord{1, 9, /*send_interval=*/1, /*recv_interval=*/0}}),
+  };
+  const auto result = compute_recovery_line(histories, LineMode::kOrphanFree);
+  EXPECT_EQ(result.line.index, (std::vector<std::uint32_t>{1, 0, 0}));
+}
+
+TEST(Line, FloorSkipsGarbageCollectedIndices) {
+  // p1 must retract below 5, but only {2, 5} are saved: floor lands on 2.
+  const std::vector<ProcessHistory> histories = {
+      history(0, {1}),
+      history(1, {2, 5}, {}, {RecvRecord{0, 1, /*send_interval=*/1, /*recv_interval=*/4}}),
+  };
+  const auto result = compute_recovery_line(histories, LineMode::kOrphanFree);
+  EXPECT_EQ(result.line.index, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Line, ReclaimableListsBelowLineOnly) {
+  const std::vector<ProcessHistory> histories = {
+      history(0, {1, 2, 3}),
+      history(1, {1, 2}),
+  };
+  RecoveryLine line;
+  line.index = {3, 2};
+  const auto lists = reclaimable(histories, line);
+  EXPECT_EQ(lists[0], (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(lists[1], (std::vector<std::uint32_t>{1}));
+}
+
+TEST(Line, AlignedCheckpointsSurviveHeavyTraffic) {
+  // Messages always sent and received within the same interval number on
+  // both sides (effectively coordinated) — line stays at the newest even
+  // in strict mode.
+  std::vector<SendRecord> sends0, sends1;
+  std::vector<RecvRecord> recvs0, recvs1;
+  for (std::uint32_t interval = 0; interval < 3; ++interval) {
+    for (std::uint64_t k = 0; k < 10; ++k) {
+      const std::uint64_t seq = interval * 10 + k;
+      sends0.push_back({1, seq, interval});
+      recvs1.push_back({0, seq, interval, interval});
+      sends1.push_back({0, seq, interval});
+      recvs0.push_back({1, seq, interval, interval});
+    }
+  }
+  const std::vector<ProcessHistory> histories = {
+      history(0, {1, 2, 3}, sends0, recvs0),
+      history(1, {1, 2, 3}, sends1, recvs1),
+  };
+  const auto result = compute_recovery_line(histories, LineMode::kStrict);
+  EXPECT_EQ(result.line.index, (std::vector<std::uint32_t>{3, 3}));
+}
+
+TEST(Line, StrictNeverAboveOrphanFree) {
+  // Property: for a randomized record soup, strict line <= orphan-free line.
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ProcessHistory> histories;
+    const std::size_t n = 3;
+    for (Rank p = 0; p < n; ++p) {
+      histories.push_back(history(p, {1, 2, 3}));
+    }
+    std::uint64_t seq = 0;
+    for (int m = 0; m < 30; ++m) {
+      const Rank src = static_cast<Rank>(rng.uniform_u64(n));
+      Rank dst = static_cast<Rank>(rng.uniform_u64(n));
+      if (dst == src) dst = (dst + 1) % n;
+      const auto s = static_cast<std::uint32_t>(rng.uniform_u64(4));
+      const auto r = static_cast<std::uint32_t>(rng.uniform_u64(4));
+      ++seq;
+      if (s < 3) histories[src].sends.push_back({dst, seq, s});
+      if (r < 3 && rng.bernoulli(0.8)) histories[dst].recvs.push_back({src, seq, s, r});
+    }
+    const auto strict = compute_recovery_line(histories, LineMode::kStrict);
+    const auto weak = compute_recovery_line(histories, LineMode::kOrphanFree);
+    for (std::size_t p = 0; p < n; ++p) {
+      EXPECT_LE(strict.line.index[p], weak.line.index[p]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Line, OrphanFreeLineHasNoOrphans) {
+  // Property: the computed orphan-free line never leaves an orphan.
+  util::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ProcessHistory> histories;
+    const std::size_t n = 4;
+    for (Rank p = 0; p < n; ++p) histories.push_back(history(p, {1, 2}));
+    std::uint64_t seq = 0;
+    for (int m = 0; m < 40; ++m) {
+      const Rank src = static_cast<Rank>(rng.uniform_u64(n));
+      Rank dst = static_cast<Rank>(rng.uniform_u64(n));
+      if (dst == src) dst = (dst + 1) % n;
+      const auto s = static_cast<std::uint32_t>(rng.uniform_u64(3));
+      const auto r = static_cast<std::uint32_t>(rng.uniform_u64(3));
+      ++seq;
+      histories[src].sends.push_back({dst, seq, s});
+      if (r < 2) histories[dst].recvs.push_back({src, seq, s, r});
+    }
+    const auto result = compute_recovery_line(histories, LineMode::kOrphanFree);
+    const auto& line = result.line.index;
+    for (std::size_t q = 0; q < n; ++q) {
+      for (const RecvRecord& rec : histories[q].recvs) {
+        const bool orphan = rec.recv_interval < line[q] && rec.send_interval >= line[rec.src];
+        EXPECT_FALSE(orphan) << "trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chk::chklib

@@ -1,0 +1,169 @@
+// Unit tests for chk::util — RNG determinism/quality, stats, tables, CLI.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace chk::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent1(7), parent2(7);
+  Rng child1 = parent1.fork(3);
+  Rng child2 = parent2.fork(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(Rng, ForkTagDecorrelates) {
+  Rng parent(7);
+  Rng a = Rng(7).fork(1);
+  Rng b = Rng(7).fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 8);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 8);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng(17);
+  std::vector<int> counts(7, 0);
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_u64(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 7, kDraws / 7 / 5);  // within 20%
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.15);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats whole, part1, part2;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 10);
+    whole.add(x);
+    (i < 200 ? part1 : part2).add(x);
+  }
+  part1.merge(part2);
+  EXPECT_EQ(part1.count(), whole.count());
+  EXPECT_NEAR(part1.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(part1.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_TRUE(std::isnan(stats.min()));
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+}
+
+TEST(Table, RendersAlignedGrid) {
+  Table t({"app", "overhead"});
+  t.add_row({"SOR", "1.25"});
+  t.add_row({"NQUEENS", "0.07"});
+  const std::string out = t.render("Demo");
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("SOR"), std::string::npos);
+  EXPECT_NE(out.find("NQUEENS"), std::string::npos);
+  // every data line has the same width
+  std::size_t width = 0;
+  std::size_t pos = out.find('\n');
+  for (std::size_t start = pos + 1; start < out.size();) {
+    std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    if (width == 0) width = end - start;
+    EXPECT_EQ(end - start, width);
+    start = end + 1;
+  }
+}
+
+TEST(Table, NumericFormatters) {
+  EXPECT_EQ(Table::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::percent(0.0123, 2), "1.23 %");
+  EXPECT_EQ(Table::bytes(2048), "2.0 KiB");
+  EXPECT_EQ(Table::integer(42), "42");
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta=4.5", "--flag", "pos", "--no-gamma"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 0), 4.5);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_FALSE(cli.get_bool("gamma", true));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+}  // namespace
+}  // namespace chk::util

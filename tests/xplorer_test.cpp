@@ -1,0 +1,349 @@
+// Unit tests for the machine model: FIFO servers, topology/routing,
+// network contention, node CPU model, stable storage.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/process.hpp"
+#include "des/simulator.hpp"
+#include "xplorer/machine.hpp"
+
+namespace chk::xplorer {
+namespace {
+
+using des::Duration;
+using des::Process;
+using des::Simulator;
+using des::TimePoint;
+
+TEST(FifoServer, ServiceTimeIsLatencyPlusTransfer) {
+  Simulator sim;
+  FifoServer server(sim, "s", /*bytes_per_sec=*/1'000'000, Duration::millis(10));
+  EXPECT_DOUBLE_EQ(server.service_time(500'000).to_seconds(), 0.51);
+  EXPECT_DOUBLE_EQ(server.service_time(0).to_seconds(), 0.01);
+}
+
+TEST(FifoServer, JobsServeFifoAndAccumulateStats) {
+  Simulator sim;
+  FifoServer server(sim, "s", 1'000'000, Duration::zero());
+  std::vector<double> completions;
+  server.submit(1'000'000, [&] { completions.push_back(sim.now().to_seconds()); });
+  server.submit(500'000, [&] { completions.push_back(sim.now().to_seconds()); });
+  server.submit(500'000, [&] { completions.push_back(sim.now().to_seconds()); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 1.5);
+  EXPECT_DOUBLE_EQ(completions[2], 2.0);
+  EXPECT_DOUBLE_EQ(server.busy_time().to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(server.wait_time().to_seconds(), 2.5);  // 0 + 1 + 1.5
+  EXPECT_EQ(server.jobs_completed(), 3u);
+  EXPECT_EQ(server.bytes_served(), 2'000'000u);
+  EXPECT_TRUE(server.idle());
+}
+
+TEST(FifoServer, CompletionMaySubmitMore) {
+  Simulator sim;
+  FifoServer server(sim, "s", 1'000'000, Duration::zero());
+  int chained = 0;
+  server.submit(1000, [&] {
+    ++chained;
+    server.submit(1000, [&] { ++chained; });
+  });
+  sim.run();
+  EXPECT_EQ(chained, 2);
+}
+
+TEST(Topology, Mesh2x4Routes) {
+  const auto topo = Topology::build(TopologyKind::kMesh2D, 8);
+  // 2x4 mesh: nodes 0..3 top row, 4..7 bottom row.
+  EXPECT_EQ(topo.distance(0, 0), 0u);
+  EXPECT_EQ(topo.distance(0, 1), 1u);
+  EXPECT_EQ(topo.distance(0, 3), 3u);
+  EXPECT_EQ(topo.distance(0, 7), 4u);
+  EXPECT_EQ(topo.distance(4, 0), 1u);
+  // route continuity: consecutive edges share endpoints
+  const auto route = topo.route(0, 7);
+  NodeId at = 0;
+  for (std::size_t link : route) {
+    EXPECT_EQ(topo.edge(link).from, at);
+    at = topo.edge(link).to;
+  }
+  EXPECT_EQ(at, 7u);
+}
+
+TEST(Topology, RingRoutesShortestWay) {
+  const auto topo = Topology::build(TopologyKind::kRing, 8);
+  EXPECT_EQ(topo.distance(0, 1), 1u);
+  EXPECT_EQ(topo.distance(0, 7), 1u);  // wraps
+  EXPECT_EQ(topo.distance(0, 4), 4u);
+  EXPECT_EQ(topo.distance(2, 6), 4u);
+}
+
+TEST(Topology, StarRoutesThroughHub) {
+  const auto topo = Topology::build(TopologyKind::kStar, 5);
+  EXPECT_EQ(topo.distance(1, 2), 2u);
+  EXPECT_EQ(topo.distance(0, 3), 1u);
+}
+
+TEST(Topology, CrossbarIsDirect) {
+  const auto topo = Topology::build(TopologyKind::kCrossbar, 6);
+  for (NodeId i = 0; i < 6; ++i) {
+    for (NodeId j = 0; j < 6; ++j) {
+      if (i != j) {
+        EXPECT_EQ(topo.distance(i, j), 1u);
+      }
+    }
+  }
+}
+
+TEST(Topology, SingleNodeHasNoLinks) {
+  const auto topo = Topology::build(TopologyKind::kMesh2D, 1);
+  EXPECT_EQ(topo.num_links(), 0u);
+  EXPECT_EQ(topo.distance(0, 0), 0u);
+}
+
+TEST(Topology, TwoNodeRingCollapses) {
+  const auto topo = Topology::build(TopologyKind::kRing, 2);
+  EXPECT_EQ(topo.num_links(), 2u);
+  EXPECT_EQ(topo.distance(0, 1), 1u);
+}
+
+MachineConfig test_config(std::size_t nodes = 8) {
+  MachineConfig config = MachineConfig::parsytec_xplorer();
+  config.num_nodes = nodes;
+  return config;
+}
+
+TEST(Network, DeliversWithLatencyAndBandwidth) {
+  Simulator sim;
+  MachineConfig config = test_config();
+  config.link.bandwidth = 1'000'000;
+  config.link.latency = Duration::millis(1);
+  config.packet_bytes = 1 << 20;  // single packet
+  Network net(sim, config);
+  double delivered = -1;
+  net.transfer(0, 1, 500'000, Traffic::kApplication,
+               [&] { delivered = sim.now().to_seconds(); });
+  sim.run();
+  // one hop: latency 1ms + 0.5s transfer
+  EXPECT_DOUBLE_EQ(delivered, 0.501);
+  EXPECT_EQ(net.bytes_sent(Traffic::kApplication), 500'000u);
+  EXPECT_EQ(net.transfers(Traffic::kApplication), 1u);
+}
+
+TEST(Network, MultiHopAccumulates) {
+  Simulator sim;
+  MachineConfig config = test_config();
+  config.link.bandwidth = 1'000'000;
+  config.link.latency = Duration::zero();
+  config.packet_bytes = 1 << 20;
+  Network net(sim, config);
+  double delivered = -1;
+  // 0 -> 3 is 3 hops in the 2x4 mesh
+  net.transfer(0, 3, 100'000, Traffic::kApplication,
+               [&] { delivered = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(delivered, 0.3, 1e-9);
+}
+
+TEST(Network, PacketizationPipelinesHops) {
+  Simulator sim;
+  MachineConfig config = test_config();
+  config.link.bandwidth = 1'000'000;
+  config.link.latency = Duration::zero();
+  config.packet_bytes = 10'000;
+  Network net(sim, config);
+  double delivered = -1;
+  net.transfer(0, 3, 100'000, Traffic::kApplication,
+               [&] { delivered = sim.now().to_seconds(); });
+  sim.run();
+  // pipelined: ~ (packets + hops - 1) * per-packet time = (10+2)*0.01 = 0.12
+  EXPECT_NEAR(delivered, 0.12, 1e-6);
+}
+
+TEST(Network, ContentionSlowsConcurrentTransfers) {
+  Simulator sim;
+  MachineConfig config = test_config();
+  config.link.bandwidth = 1'000'000;
+  config.link.latency = Duration::zero();
+  config.packet_bytes = 1000;
+  Network net(sim, config);
+  std::vector<double> done;
+  // two transfers sharing the 0->1 link
+  net.transfer(0, 1, 100'000, Traffic::kApplication, [&] { done.push_back(sim.now().to_seconds()); });
+  net.transfer(0, 1, 100'000, Traffic::kCheckpoint, [&] { done.push_back(sim.now().to_seconds()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // the link carries 200 KB total; last finisher at ~0.2s
+  EXPECT_NEAR(done.back(), 0.2, 0.01);
+}
+
+TEST(Network, SelfTransferBypassesLinks) {
+  Simulator sim;
+  Network net(sim, test_config());
+  bool delivered = false;
+  net.transfer(2, 2, 1'000'000, Traffic::kApplication, [&] { delivered = true; });
+  sim.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net.total_link_busy(), Duration::zero());
+}
+
+TEST(Network, ZeroByteTransferStillDelivers) {
+  Simulator sim;
+  Network net(sim, test_config());
+  bool delivered = false;
+  net.transfer(0, 5, 0, Traffic::kControl, [&] { delivered = true; });
+  sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Node, ComputeAdvancesByFlopRate) {
+  Simulator sim;
+  NodeConfig config;
+  config.cpu_flop_rate = 1e6;
+  Node node(sim, 0, config);
+  sim.spawn("p", [&](Process& self) { node.compute(self, 2e6); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(node.compute_time().to_seconds(), 2.0);
+  EXPECT_EQ(node.interference_time(), Duration::zero());
+}
+
+TEST(Node, BackgroundIoStealsCpu) {
+  Simulator sim;
+  NodeConfig config;
+  config.cpu_flop_rate = 1e6;
+  config.background_io_cpu_steal = 0.2;
+  Node node(sim, 0, config);
+  sim.spawn("p", [&](Process& self) {
+    node.begin_background_io();
+    node.compute(self, 1e6);
+    node.end_background_io();
+    node.compute(self, 1e6);
+  });
+  sim.run();
+  // first second of work takes 1/(1-0.2) = 1.25s, second takes 1s
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 2.25);
+  EXPECT_DOUBLE_EQ(node.interference_time().to_seconds(), 0.25);
+}
+
+TEST(Node, MemCopyUsesCopyBandwidth) {
+  Simulator sim;
+  NodeConfig config;
+  config.mem_copy_bw = 10e6;
+  Node node(sim, 0, config);
+  sim.spawn("p", [&](Process& self) { node.mem_copy(self, 5'000'000); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 0.5);
+}
+
+TEST(Storage, WriteRoundTripsBytes) {
+  Simulator sim;
+  Machine machine(sim, test_config());
+  std::vector<std::byte> payload(1000);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<std::byte>(i & 0xff);
+  std::vector<std::byte> readback;
+  sim.spawn("p", [&](Process& self) {
+    machine.storage().write_blocking(self, 3, "ckpt/p3/v1", payload);
+    EXPECT_TRUE(machine.storage().exists("ckpt/p3/v1"));
+    readback = machine.storage().read_blocking(self, 3, "ckpt/p3/v1");
+  });
+  const auto result = sim.run();
+  EXPECT_EQ(result.reason, des::StopReason::kIdle);
+  EXPECT_EQ(readback, payload);
+  EXPECT_EQ(machine.storage().total_bytes(), 1000u);
+}
+
+TEST(Storage, MissingKeyReadsEmpty) {
+  Simulator sim;
+  Machine machine(sim, test_config());
+  std::size_t size = 999;
+  sim.spawn("p", [&](Process& self) {
+    size = machine.storage().read_blocking(self, 0, "nope").size();
+  });
+  sim.run();
+  EXPECT_EQ(size, 0u);
+}
+
+TEST(Storage, WriteTimeScalesWithDistanceToHost) {
+  // A node far from the host interface pays more network time.
+  auto measure = [](NodeId from) {
+    Simulator sim;
+    MachineConfig config = test_config();
+    Machine machine(sim, config);
+    double elapsed = -1;
+    sim.spawn("p", [&](Process& self) {
+      machine.storage().write_blocking(self, from, "k", std::vector<std::byte>(100'000));
+      elapsed = self.now().to_seconds();
+    });
+    sim.run();
+    return elapsed;
+  };
+  EXPECT_GT(measure(7), measure(1));
+  EXPECT_GT(measure(1), measure(0));
+}
+
+TEST(Storage, ConcurrentWritersContend) {
+  // 8 simultaneous writers must take much longer per write than one alone.
+  auto last_completion = [](std::size_t writers) {
+    Simulator sim;
+    Machine machine(sim, test_config());
+    for (std::size_t n = 0; n < writers; ++n) {
+      sim.spawn("w" + std::to_string(n), [&machine, n](Process& self) {
+        machine.storage().write_blocking(self, n, "ckpt/" + std::to_string(n),
+                                         std::vector<std::byte>(200'000));
+      });
+    }
+    sim.run();
+    return sim.now().to_seconds();
+  };
+  const double solo = last_completion(1);
+  const double all = last_completion(8);
+  // Writes serialize at the disk/host-link bottleneck; pipelining overlaps
+  // part of the mesh traversal, so the factor is a bit below 8.
+  EXPECT_GT(all, solo * 4.0);
+}
+
+TEST(Storage, EraseReclaimsSpace) {
+  Simulator sim;
+  Machine machine(sim, test_config());
+  sim.spawn("p", [&](Process& self) {
+    machine.storage().write_blocking(self, 0, "a", std::vector<std::byte>(500));
+    machine.storage().write_blocking(self, 0, "b", std::vector<std::byte>(700));
+    EXPECT_EQ(machine.storage().total_bytes(), 1200u);
+    machine.storage().erase("a");
+    EXPECT_EQ(machine.storage().total_bytes(), 700u);
+    EXPECT_EQ(machine.storage().peak_bytes(), 1200u);
+  });
+  sim.run();
+}
+
+TEST(Storage, OverwriteReplacesVersion) {
+  Simulator sim;
+  Machine machine(sim, test_config());
+  sim.spawn("p", [&](Process& self) {
+    machine.storage().write_blocking(self, 0, "k", std::vector<std::byte>(500));
+    machine.storage().write_blocking(self, 0, "k", std::vector<std::byte>(300));
+    EXPECT_EQ(machine.storage().total_bytes(), 300u);
+    EXPECT_EQ(machine.storage().size("k"), 300u);
+  });
+  sim.run();
+}
+
+TEST(Storage, KeysWithPrefix) {
+  Simulator sim;
+  Machine machine(sim, test_config());
+  sim.spawn("p", [&](Process& self) {
+    machine.storage().write_blocking(self, 0, "ckpt/p0/v1", std::vector<std::byte>(10));
+    machine.storage().write_blocking(self, 0, "ckpt/p0/v2", std::vector<std::byte>(10));
+    machine.storage().write_blocking(self, 0, "ckpt/p1/v1", std::vector<std::byte>(10));
+    EXPECT_EQ(machine.storage().keys_with_prefix("ckpt/p0/").size(), 2u);
+    EXPECT_EQ(machine.storage().keys_with_prefix("ckpt/").size(), 3u);
+    EXPECT_EQ(machine.storage().keys_with_prefix("zzz").size(), 0u);
+  });
+  sim.run();
+}
+
+}  // namespace
+}  // namespace chk::xplorer
