@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_staggering.dir/ablation_staggering.cpp.o"
+  "CMakeFiles/ablation_staggering.dir/ablation_staggering.cpp.o.d"
+  "ablation_staggering"
+  "ablation_staggering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_staggering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

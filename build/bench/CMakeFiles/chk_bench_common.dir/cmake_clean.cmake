@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chk_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/chk_bench_common.dir/bench_common.cpp.o.d"
+  "libchk_bench_common.a"
+  "libchk_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chk_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

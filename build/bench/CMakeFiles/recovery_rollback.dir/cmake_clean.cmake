@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_rollback.dir/recovery_rollback.cpp.o"
+  "CMakeFiles/recovery_rollback.dir/recovery_rollback.cpp.o.d"
+  "recovery_rollback"
+  "recovery_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

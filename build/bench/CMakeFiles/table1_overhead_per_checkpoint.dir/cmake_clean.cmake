@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_overhead_per_checkpoint.dir/table1_overhead_per_checkpoint.cpp.o"
+  "CMakeFiles/table1_overhead_per_checkpoint.dir/table1_overhead_per_checkpoint.cpp.o.d"
+  "table1_overhead_per_checkpoint"
+  "table1_overhead_per_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_overhead_per_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

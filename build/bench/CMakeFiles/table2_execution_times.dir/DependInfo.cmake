@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_execution_times.cpp" "bench/CMakeFiles/table2_execution_times.dir/table2_execution_times.cpp.o" "gcc" "bench/CMakeFiles/table2_execution_times.dir/table2_execution_times.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/chk_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chk_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chk_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chklib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chk_xplorer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chk_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_execution_times.dir/table2_execution_times.cpp.o"
+  "CMakeFiles/table2_execution_times.dir/table2_execution_times.cpp.o.d"
+  "table2_execution_times"
+  "table2_execution_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_execution_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

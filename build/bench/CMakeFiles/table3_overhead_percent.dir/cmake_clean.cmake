@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_overhead_percent.dir/table3_overhead_percent.cpp.o"
+  "CMakeFiles/table3_overhead_percent.dir/table3_overhead_percent.cpp.o.d"
+  "table3_overhead_percent"
+  "table3_overhead_percent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_overhead_percent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

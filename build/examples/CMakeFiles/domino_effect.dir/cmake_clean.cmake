@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_effect.dir/domino_effect.cpp.o"
+  "CMakeFiles/domino_effect.dir/domino_effect.cpp.o.d"
+  "domino_effect"
+  "domino_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/asp.cpp" "src/CMakeFiles/chk_apps.dir/apps/asp.cpp.o" "gcc" "src/CMakeFiles/chk_apps.dir/apps/asp.cpp.o.d"
+  "/root/repo/src/apps/gauss.cpp" "src/CMakeFiles/chk_apps.dir/apps/gauss.cpp.o" "gcc" "src/CMakeFiles/chk_apps.dir/apps/gauss.cpp.o.d"
+  "/root/repo/src/apps/ising.cpp" "src/CMakeFiles/chk_apps.dir/apps/ising.cpp.o" "gcc" "src/CMakeFiles/chk_apps.dir/apps/ising.cpp.o.d"
+  "/root/repo/src/apps/nbody.cpp" "src/CMakeFiles/chk_apps.dir/apps/nbody.cpp.o" "gcc" "src/CMakeFiles/chk_apps.dir/apps/nbody.cpp.o.d"
+  "/root/repo/src/apps/nqueens.cpp" "src/CMakeFiles/chk_apps.dir/apps/nqueens.cpp.o" "gcc" "src/CMakeFiles/chk_apps.dir/apps/nqueens.cpp.o.d"
+  "/root/repo/src/apps/sor.cpp" "src/CMakeFiles/chk_apps.dir/apps/sor.cpp.o" "gcc" "src/CMakeFiles/chk_apps.dir/apps/sor.cpp.o.d"
+  "/root/repo/src/apps/tsp.cpp" "src/CMakeFiles/chk_apps.dir/apps/tsp.cpp.o" "gcc" "src/CMakeFiles/chk_apps.dir/apps/tsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chklib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chk_xplorer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chk_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chk_apps.dir/apps/asp.cpp.o"
+  "CMakeFiles/chk_apps.dir/apps/asp.cpp.o.d"
+  "CMakeFiles/chk_apps.dir/apps/gauss.cpp.o"
+  "CMakeFiles/chk_apps.dir/apps/gauss.cpp.o.d"
+  "CMakeFiles/chk_apps.dir/apps/ising.cpp.o"
+  "CMakeFiles/chk_apps.dir/apps/ising.cpp.o.d"
+  "CMakeFiles/chk_apps.dir/apps/nbody.cpp.o"
+  "CMakeFiles/chk_apps.dir/apps/nbody.cpp.o.d"
+  "CMakeFiles/chk_apps.dir/apps/nqueens.cpp.o"
+  "CMakeFiles/chk_apps.dir/apps/nqueens.cpp.o.d"
+  "CMakeFiles/chk_apps.dir/apps/sor.cpp.o"
+  "CMakeFiles/chk_apps.dir/apps/sor.cpp.o.d"
+  "CMakeFiles/chk_apps.dir/apps/tsp.cpp.o"
+  "CMakeFiles/chk_apps.dir/apps/tsp.cpp.o.d"
+  "libchk_apps.a"
+  "libchk_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chk_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chk_des.dir/des/simulator.cpp.o"
+  "CMakeFiles/chk_des.dir/des/simulator.cpp.o.d"
+  "CMakeFiles/chk_des.dir/des/sync.cpp.o"
+  "CMakeFiles/chk_des.dir/des/sync.cpp.o.d"
+  "libchk_des.a"
+  "libchk_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chk_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for chk_des.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chk_harness.dir/harness/catalog.cpp.o"
+  "CMakeFiles/chk_harness.dir/harness/catalog.cpp.o.d"
+  "CMakeFiles/chk_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/chk_harness.dir/harness/experiment.cpp.o.d"
+  "libchk_harness.a"
+  "libchk_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chk_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

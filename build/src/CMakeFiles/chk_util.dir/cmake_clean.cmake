@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chk_util.dir/util/cli.cpp.o"
+  "CMakeFiles/chk_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/chk_util.dir/util/logging.cpp.o"
+  "CMakeFiles/chk_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/chk_util.dir/util/rng.cpp.o"
+  "CMakeFiles/chk_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/chk_util.dir/util/table.cpp.o"
+  "CMakeFiles/chk_util.dir/util/table.cpp.o.d"
+  "libchk_util.a"
+  "libchk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchk_util.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xplorer/fifo_server.cpp" "src/CMakeFiles/chk_xplorer.dir/xplorer/fifo_server.cpp.o" "gcc" "src/CMakeFiles/chk_xplorer.dir/xplorer/fifo_server.cpp.o.d"
+  "/root/repo/src/xplorer/network.cpp" "src/CMakeFiles/chk_xplorer.dir/xplorer/network.cpp.o" "gcc" "src/CMakeFiles/chk_xplorer.dir/xplorer/network.cpp.o.d"
+  "/root/repo/src/xplorer/node.cpp" "src/CMakeFiles/chk_xplorer.dir/xplorer/node.cpp.o" "gcc" "src/CMakeFiles/chk_xplorer.dir/xplorer/node.cpp.o.d"
+  "/root/repo/src/xplorer/storage.cpp" "src/CMakeFiles/chk_xplorer.dir/xplorer/storage.cpp.o" "gcc" "src/CMakeFiles/chk_xplorer.dir/xplorer/storage.cpp.o.d"
+  "/root/repo/src/xplorer/topology.cpp" "src/CMakeFiles/chk_xplorer.dir/xplorer/topology.cpp.o" "gcc" "src/CMakeFiles/chk_xplorer.dir/xplorer/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chk_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

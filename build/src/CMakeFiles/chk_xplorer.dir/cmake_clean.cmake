@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chk_xplorer.dir/xplorer/fifo_server.cpp.o"
+  "CMakeFiles/chk_xplorer.dir/xplorer/fifo_server.cpp.o.d"
+  "CMakeFiles/chk_xplorer.dir/xplorer/network.cpp.o"
+  "CMakeFiles/chk_xplorer.dir/xplorer/network.cpp.o.d"
+  "CMakeFiles/chk_xplorer.dir/xplorer/node.cpp.o"
+  "CMakeFiles/chk_xplorer.dir/xplorer/node.cpp.o.d"
+  "CMakeFiles/chk_xplorer.dir/xplorer/storage.cpp.o"
+  "CMakeFiles/chk_xplorer.dir/xplorer/storage.cpp.o.d"
+  "CMakeFiles/chk_xplorer.dir/xplorer/topology.cpp.o"
+  "CMakeFiles/chk_xplorer.dir/xplorer/topology.cpp.o.d"
+  "libchk_xplorer.a"
+  "libchk_xplorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chk_xplorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chk_xplorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chklib/ckpt/image.cpp" "src/CMakeFiles/chklib.dir/chklib/ckpt/image.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/ckpt/image.cpp.o.d"
+  "/root/repo/src/chklib/ckpt/incremental.cpp" "src/CMakeFiles/chklib.dir/chklib/ckpt/incremental.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/ckpt/incremental.cpp.o.d"
+  "/root/repo/src/chklib/ckpt/registry.cpp" "src/CMakeFiles/chklib.dir/chklib/ckpt/registry.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/ckpt/registry.cpp.o.d"
+  "/root/repo/src/chklib/ckpt/store.cpp" "src/CMakeFiles/chklib.dir/chklib/ckpt/store.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/ckpt/store.cpp.o.d"
+  "/root/repo/src/chklib/comm/comm_system.cpp" "src/CMakeFiles/chklib.dir/chklib/comm/comm_system.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/comm/comm_system.cpp.o.d"
+  "/root/repo/src/chklib/comm/endpoint.cpp" "src/CMakeFiles/chklib.dir/chklib/comm/endpoint.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/comm/endpoint.cpp.o.d"
+  "/root/repo/src/chklib/proto/coordinated.cpp" "src/CMakeFiles/chklib.dir/chklib/proto/coordinated.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/proto/coordinated.cpp.o.d"
+  "/root/repo/src/chklib/proto/independent.cpp" "src/CMakeFiles/chklib.dir/chklib/proto/independent.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/proto/independent.cpp.o.d"
+  "/root/repo/src/chklib/proto/protocol.cpp" "src/CMakeFiles/chklib.dir/chklib/proto/protocol.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/proto/protocol.cpp.o.d"
+  "/root/repo/src/chklib/proto/scheme.cpp" "src/CMakeFiles/chklib.dir/chklib/proto/scheme.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/proto/scheme.cpp.o.d"
+  "/root/repo/src/chklib/recovery/line.cpp" "src/CMakeFiles/chklib.dir/chklib/recovery/line.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/recovery/line.cpp.o.d"
+  "/root/repo/src/chklib/recovery/manager.cpp" "src/CMakeFiles/chklib.dir/chklib/recovery/manager.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/recovery/manager.cpp.o.d"
+  "/root/repo/src/chklib/runtime.cpp" "src/CMakeFiles/chklib.dir/chklib/runtime.cpp.o" "gcc" "src/CMakeFiles/chklib.dir/chklib/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chk_xplorer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chk_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

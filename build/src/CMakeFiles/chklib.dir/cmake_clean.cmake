@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chklib.dir/chklib/ckpt/image.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/ckpt/image.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/ckpt/incremental.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/ckpt/incremental.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/ckpt/registry.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/ckpt/registry.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/ckpt/store.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/ckpt/store.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/comm/comm_system.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/comm/comm_system.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/comm/endpoint.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/comm/endpoint.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/proto/coordinated.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/proto/coordinated.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/proto/independent.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/proto/independent.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/proto/protocol.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/proto/protocol.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/proto/scheme.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/proto/scheme.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/recovery/line.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/recovery/line.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/recovery/manager.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/recovery/manager.cpp.o.d"
+  "CMakeFiles/chklib.dir/chklib/runtime.cpp.o"
+  "CMakeFiles/chklib.dir/chklib/runtime.cpp.o.d"
+  "libchklib.a"
+  "libchklib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chklib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for chklib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_test.dir/line_test.cpp.o"
+  "CMakeFiles/line_test.dir/line_test.cpp.o.d"
+  "line_test"
+  "line_test.pdb"
+  "line_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

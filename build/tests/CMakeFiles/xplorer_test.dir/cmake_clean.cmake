@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplorer_test.dir/xplorer_test.cpp.o"
+  "CMakeFiles/xplorer_test.dir/xplorer_test.cpp.o.d"
+  "xplorer_test"
+  "xplorer_test.pdb"
+  "xplorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
