@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   config.app = make_pi_app(static_cast<std::uint64_t>(cli.get_int("slices", 2'000'000)),
                            static_cast<std::uint32_t>(cli.get_int("chunks", 50)));
   config.scheme = chklib::scheme_from_string(cli.get("scheme", "Coord_NBM"));
+  config.verify = util::verify_requested(cli);
 
   const auto normal = harness::run_normal(config);
   config.interval = des::Duration::seconds(normal.exec_time_s / 4.0);

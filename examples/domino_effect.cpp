@@ -20,10 +20,12 @@ namespace {
 
 using namespace chk;
 
-harness::ExperimentResult run_case(const char* label, chklib::AppFn app, double fail_frac) {
+harness::ExperimentResult run_case(const char* label, chklib::AppFn app, double fail_frac,
+                                   bool verify) {
   harness::ExperimentConfig config;
   config.label = label;
   config.app = std::move(app);
+  config.verify = verify;
   const auto normal = harness::run_normal(config);
   config.scheme = harness::Scheme::kIndep;
   config.checkpoints = 3;
@@ -57,13 +59,15 @@ void describe(const char* label, const harness::ExperimentResult& result) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const double fail_frac = cli.get_double("fail-at-frac", 0.8);
+  const bool verify = util::verify_requested(cli);
 
   std::puts("Tightly coupled (SOR, halo exchange every iteration):");
-  const auto sor = run_case("SOR", apps::make_sor({.n = 128, .iterations = 120}), fail_frac);
+  const auto sor =
+      run_case("SOR", apps::make_sor({.n = 128, .iterations = 120}), fail_frac, verify);
   describe("SOR + Indep, strict line", sor);
 
   std::puts("Loosely coupled (NQUEENS, no communication until the end):");
-  const auto nq = run_case("NQUEENS", apps::make_nqueens({.n = 11}), fail_frac);
+  const auto nq = run_case("NQUEENS", apps::make_nqueens({.n = 11}), fail_frac, verify);
   describe("NQUEENS + Indep, strict line", nq);
 
   const bool ok = sor.recoveries.front().rolled_to_origin &&

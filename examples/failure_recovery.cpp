@@ -4,7 +4,7 @@
 // mid-run, recovers from the last committed global checkpoint, and shows
 // that the recomputed result is bit-identical to a failure-free run.
 //
-//   ./failure_recovery [--fail-at-frac=0.6] [--fail-rank=3] [--n=256]
+//   ./failure_recovery [--fail-at-frac=0.6] [--fail-rank=3] [--n=256] [--verify]
 #include <cstdio>
 
 #include "apps/asp.hpp"
@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   config.app = apps::make_asp({.n = static_cast<std::size_t>(cli.get_int("n", 256))});
   config.scheme = harness::Scheme::kCoordNB;
   config.checkpoints = 0;  // periodic until the run completes
+  config.verify = util::verify_requested(cli);
 
   const auto normal = harness::run_normal(config);
   config.interval = des::Duration::seconds(normal.exec_time_s / 5.0);

@@ -3,7 +3,7 @@
 // staggered) and print the failure-free overhead breakdown.
 //
 //   ./quickstart [--scheme=Coord_NBMS] [--n=512] [--iters=100]
-//                [--interval-s=30] [--checkpoints=3] [--nodes=8]
+//                [--interval-s=30] [--checkpoints=3] [--nodes=8] [--verify]
 #include <cstdio>
 
 #include "apps/sor.hpp"
@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   config.scheme = chklib::scheme_from_string(cli.get("scheme", "Coord_NBMS"));
   config.checkpoints = static_cast<std::uint32_t>(cli.get_int("checkpoints", 3));
   config.machine.num_nodes = static_cast<std::size_t>(cli.get_int("nodes", 8));
+  config.verify = util::verify_requested(cli);
 
   std::printf("Running %s on %zu simulated T805 nodes...\n", config.label.c_str(),
               config.machine.num_nodes);
@@ -54,6 +55,12 @@ int main(int argc, char** argv) {
                                             static_cast<double>(result.peak_storage_bytes))});
   table.add_row({"disk queueing time", util::Table::seconds(result.disk_wait_s)});
   table.add_row({"result digest", util::Table::fixed(result.digest.value_or(0.0), 0)});
+  if (config.verify) {
+    table.add_row({"invariant checks", util::Table::integer(
+                                           static_cast<long long>(result.invariant_checks))});
+    table.add_row({"invariant violations",
+                   util::Table::integer(static_cast<long long>(result.invariant_violations))});
+  }
   std::fputs(table.render("CHK-LIB quickstart").c_str(), stdout);
 
   if (result.digest != normal.digest) {

@@ -3,32 +3,63 @@
 namespace chk::chklib {
 
 namespace {
-constexpr std::uint32_t kImageMagic = 0x43484b31;  // "CHK1"
-constexpr std::uint32_t kLogMagic = 0x43484c31;    // "CHL1"
-}  // namespace
+// Version 2 blobs carry a 64-bit FNV-1a checksum of the body right after
+// the magic; deserialize verifies it so a corrupted image fails loudly at
+// restore time instead of resurrecting silently wrong state.
+constexpr std::uint32_t kImageMagic = 0x43484b32;  // "CHK2"
+constexpr std::uint32_t kLogMagic = 0x43484c32;    // "CHL2"
 
-std::vector<std::byte> CheckpointImage::serialize() const {
+std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::byte b : bytes) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::vector<std::byte> seal(std::uint32_t magic, util::ByteWriter body) {
   util::ByteWriter writer;
-  writer.put(kImageMagic);
-  writer.put<std::uint64_t>(rank);
-  writer.put(index);
-  writer.put(captured_at_ns);
-  writer.put(delta_base);
-  writer.put_vector(state);
-  writer.put_vector(seq.send_next);
-  writer.put_vector(seq.consumed_upto);
-  writer.put_vector(seq.consumed_extra);
-  writer.put_vector(sends);
-  writer.put_vector(recvs);
-  writer.put_bytes(sent_log.serialize());
+  writer.put(magic);
+  writer.put(fnv1a64(body.bytes()));
+  writer.put_bytes(body.bytes());
   return writer.take();
 }
 
-CheckpointImage CheckpointImage::deserialize(std::span<const std::byte> blob) {
-  util::ByteReader reader(blob);
-  if (reader.get<std::uint32_t>() != kImageMagic) {
-    throw util::SerializeError("CheckpointImage: bad magic");
+/// Strips and verifies the envelope; returns the body view.
+std::span<const std::byte> unseal(std::uint32_t magic, util::ByteReader& reader,
+                                  const char* what) {
+  if (reader.get<std::uint32_t>() != magic) {
+    throw util::SerializeError(std::string(what) + ": bad magic");
   }
+  const auto checksum = reader.get<std::uint64_t>();
+  const auto body = reader.get_bytes_view();
+  if (fnv1a64(body) != checksum) {
+    throw util::SerializeError(std::string(what) + ": checksum mismatch (corrupt image)");
+  }
+  return body;
+}
+}  // namespace
+
+std::vector<std::byte> CheckpointImage::serialize() const {
+  util::ByteWriter body;
+  body.put<std::uint64_t>(rank);
+  body.put(index);
+  body.put(captured_at_ns);
+  body.put(delta_base);
+  body.put_vector(state);
+  body.put_vector(seq.send_next);
+  body.put_vector(seq.consumed_upto);
+  body.put_vector(seq.consumed_extra);
+  body.put_vector(sends);
+  body.put_vector(recvs);
+  body.put_bytes(sent_log.serialize());
+  return seal(kImageMagic, std::move(body));
+}
+
+CheckpointImage CheckpointImage::deserialize(std::span<const std::byte> blob) {
+  util::ByteReader outer(blob);
+  util::ByteReader reader(unseal(kImageMagic, outer, "CheckpointImage"));
   CheckpointImage image;
   image.rank = static_cast<Rank>(reader.get<std::uint64_t>());
   image.index = reader.get<std::uint32_t>();
@@ -45,25 +76,22 @@ CheckpointImage CheckpointImage::deserialize(std::span<const std::byte> blob) {
 }
 
 std::vector<std::byte> ChannelLog::serialize() const {
-  util::ByteWriter writer;
-  writer.put(kLogMagic);
-  writer.put<std::uint64_t>(messages.size());
+  util::ByteWriter body;
+  body.put<std::uint64_t>(messages.size());
   for (const auto& env : messages) {
-    writer.put<std::uint64_t>(env.src);
-    writer.put<std::uint64_t>(env.dst);
-    writer.put<std::int32_t>(env.tag);
-    writer.put(env.epoch);
-    writer.put(env.seq);
-    writer.put_vector(env.payload);
+    body.put<std::uint64_t>(env.src);
+    body.put<std::uint64_t>(env.dst);
+    body.put<std::int32_t>(env.tag);
+    body.put(env.epoch);
+    body.put(env.seq);
+    body.put_vector(env.payload);
   }
-  return writer.take();
+  return seal(kLogMagic, std::move(body));
 }
 
 ChannelLog ChannelLog::deserialize(std::span<const std::byte> blob) {
-  util::ByteReader reader(blob);
-  if (reader.get<std::uint32_t>() != kLogMagic) {
-    throw util::SerializeError("ChannelLog: bad magic");
-  }
+  util::ByteReader outer(blob);
+  util::ByteReader reader(unseal(kLogMagic, outer, "ChannelLog"));
   ChannelLog log;
   const auto count = reader.get<std::uint64_t>();
   log.messages.reserve(count);

@@ -14,12 +14,20 @@ std::string CheckpointStore::log_key(Rank rank, std::uint32_t index) {
 
 void CheckpointStore::write_image(Rank rank, const CheckpointImage& image,
                                   std::function<void()> on_durable) {
-  storage_->write(rank, image_key(rank, image.index), image.serialize(), std::move(on_durable));
+  const std::uint32_t index = image.index;
+  if (observer_ != nullptr) observer_->on_image_write_begin(rank, index);
+  storage_->write(rank, image_key(rank, index), image.serialize(),
+                  [this, rank, index, on_durable = std::move(on_durable)] {
+                    if (observer_ != nullptr) observer_->on_image_write_end(rank, index);
+                    if (on_durable) on_durable();
+                  });
 }
 
 void CheckpointStore::write_image_blocking(des::Process& self, Rank rank,
                                            const CheckpointImage& image) {
+  if (observer_ != nullptr) observer_->on_image_write_begin(rank, image.index);
   storage_->write_blocking(self, rank, image_key(rank, image.index), image.serialize());
+  if (observer_ != nullptr) observer_->on_image_write_end(rank, image.index);
 }
 
 void CheckpointStore::write_log_blocking(des::Process& self, Rank rank, std::uint32_t index,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "chklib/ckpt/image.hpp"
+#include "chklib/comm/observer.hpp"
 #include "des/process.hpp"
 #include "xplorer/storage.hpp"
 
@@ -30,6 +31,10 @@ class CheckpointStore {
 
   [[nodiscard]] static std::string image_key(Rank rank, std::uint32_t index);
   [[nodiscard]] static std::string log_key(Rank rank, std::uint32_t index);
+
+  /// Passive observer of image writes (stagger mutual-exclusion checking).
+  void set_observer(InvariantObserver* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] InvariantObserver* observer() const noexcept { return observer_; }
 
   /// Timed write of a serialized image from `rank`'s node; on_durable runs
   /// when the bytes are on disk.
@@ -64,6 +69,7 @@ class CheckpointStore {
 
  private:
   xplorer::StableStorage* storage_;
+  InvariantObserver* observer_ = nullptr;
   std::uint32_t committed_epoch_ = 0;  ///< epoch 0 = initial state, implicit
 };
 

@@ -16,6 +16,7 @@ CommSystem::CommSystem(xplorer::Machine& machine) : machine_(&machine) {
 void CommSystem::transmit(des::Process& self, Envelope env) {
   if (hooks_ != nullptr) hooks_->on_send(env.src, env);
   env.incarnation = incarnation_;
+  if (observer_ != nullptr) observer_->on_transmit(env);
   ++app_messages_;
   app_bytes_ += env.payload.size();
   // Sender-side CPU staging cost (software overhead + copy to link buffer).
@@ -28,6 +29,7 @@ void CommSystem::transmit(des::Process& self, Envelope env) {
                                [this, carried] {
     if (carried->incarnation != incarnation_) {
       ++dropped_stale_;  // message from a rolled-back execution
+      if (observer_ != nullptr) observer_->on_stale_dropped(carried->dst, carried->incarnation);
       return;
     }
     endpoint(carried->dst).deliver(std::move(*carried));
@@ -42,8 +44,10 @@ void CommSystem::send_control(Rank src, Rank dst, ControlMsg msg) {
                                [this, dst, msg] {
     if (msg.incarnation != incarnation_) {
       ++dropped_stale_;
+      if (observer_ != nullptr) observer_->on_stale_dropped(dst, msg.incarnation);
       return;
     }
+    if (observer_ != nullptr) observer_->on_control_delivered(dst, msg);
     endpoint(dst).control_mailbox().send(msg);
   });
 }

@@ -8,6 +8,7 @@
 #include "chklib/comm/endpoint.hpp"
 #include "chklib/comm/envelope.hpp"
 #include "chklib/comm/hooks.hpp"
+#include "chklib/comm/observer.hpp"
 #include "xplorer/machine.hpp"
 
 namespace chk::chklib {
@@ -26,6 +27,11 @@ class CommSystem {
   void set_hooks(ProtocolHooks* hooks) noexcept { hooks_ = hooks; }
   [[nodiscard]] ProtocolHooks* hooks() const noexcept { return hooks_; }
 
+  /// Install a passive observer (nullptr = none). Used by the verify/
+  /// invariant monitor; observers must not mutate simulation state.
+  void set_observer(InvariantObserver* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] InvariantObserver* observer() const noexcept { return observer_; }
+
   /// Application-message transmission (sender process context): applies
   /// hooks, charges sender CPU, then hands the envelope to the network.
   void transmit(des::Process& self, Envelope env);
@@ -37,7 +43,10 @@ class CommSystem {
 
   /// Recovery support: stale-incarnation messages in flight are dropped on
   /// arrival after this is bumped.
-  void bump_incarnation() noexcept { ++incarnation_; }
+  void bump_incarnation() noexcept {
+    ++incarnation_;
+    if (observer_ != nullptr) observer_->on_incarnation_bump(incarnation_);
+  }
   [[nodiscard]] std::uint32_t incarnation() const noexcept { return incarnation_; }
   /// Drop all queued messages at every endpoint.
   void flush_all();
@@ -53,6 +62,7 @@ class CommSystem {
  private:
   xplorer::Machine* machine_;
   ProtocolHooks* hooks_ = nullptr;
+  InvariantObserver* observer_ = nullptr;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::uint32_t incarnation_ = 0;
   std::uint64_t app_messages_ = 0;

@@ -54,6 +54,7 @@ Envelope Endpoint::recv(des::Process& self, int src, int tag) {
       // safe points).
       auto env = take_match(src, tag);
       note_consumed(env->src, env->seq);
+      if (auto* observer = system_->observer()) observer->on_consume(rank_, *env);
       if (auto* hooks = system_->hooks()) hooks->on_deliver(self, rank_, *env);
       ++messages_received_;
       return std::move(*env);
@@ -71,10 +72,12 @@ bool Endpoint::probe(int src, int tag) const {
 }
 
 void Endpoint::deliver(Envelope env) {
+  if (auto* observer = system_->observer()) observer->on_endpoint_arrival(env);
   if (already_consumed(env.src, env.seq)) {
     // A re-executed sender regenerated a message whose consumption is
     // already part of our restored state (an orphan of the recovery cut).
     ++duplicates_dropped_;
+    if (auto* observer = system_->observer()) observer->on_duplicate_dropped(env);
     return;
   }
   if (auto* hooks = system_->hooks()) hooks->on_arrival(rank_, env);
@@ -91,9 +94,11 @@ std::vector<Envelope> Endpoint::pending_snapshot() const {
 void Endpoint::flush() {
   pending_.clear();
   control_.clear();
+  if (auto* observer = system_->observer()) observer->on_flush(rank_);
 }
 
 void Endpoint::reinject(std::vector<Envelope> envelopes) {
+  if (auto* observer = system_->observer()) observer->on_reinject(rank_, envelopes);
   // Restored channel-log messages precede anything the re-execution sends.
   pending_.insert(pending_.begin(), std::make_move_iterator(envelopes.begin()),
                   std::make_move_iterator(envelopes.end()));
@@ -146,6 +151,7 @@ void Endpoint::restore_seq(const ChannelSeqState& state) {
   for (const auto& [rank, seq] : state.send_next) send_seq_[rank] = seq;
   for (const auto& [rank, seq] : state.consumed_upto) consumed_upto_[rank] = seq;
   for (const auto& [rank, seq] : state.consumed_extra) consumed_extra_[rank].insert(seq);
+  if (auto* observer = system_->observer()) observer->on_restore_seq(rank_, state);
 }
 
 // ---------------------------------------------------------------------------

@@ -56,6 +56,9 @@ class Endpoint {
   Endpoint(CommSystem& system, Rank rank, xplorer::Node& node, des::Simulator& sim);
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
+  ~Endpoint() {
+    for (des::Process* proc : recv_waiters_) proc->detach_cancel();
+  }
 
   [[nodiscard]] Rank rank() const noexcept { return rank_; }
   [[nodiscard]] FreezeGate& gate() noexcept { return gate_; }

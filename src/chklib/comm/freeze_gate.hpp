@@ -21,6 +21,9 @@ class FreezeGate {
   explicit FreezeGate(des::Simulator& sim) : sim_(&sim) {}
   FreezeGate(const FreezeGate&) = delete;
   FreezeGate& operator=(const FreezeGate&) = delete;
+  ~FreezeGate() {
+    for (des::Process* proc : waiting_) proc->detach_cancel();
+  }
 
   /// Application operations call this first; blocks while frozen.
   void enter(des::Process& self) {

@@ -1,0 +1,225 @@
+#include "chklib/verify/monitor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/format.hpp"
+
+namespace chk::chklib::verify {
+
+Monitor::Options Monitor::options_for(Scheme scheme, Policy policy) {
+  Options options;
+  options.scheme = scheme;
+  options.policy = policy;
+  options.check_quiescence = is_coordinated(scheme);
+  options.check_stagger = is_staggered(scheme);
+  return options;
+}
+
+Monitor::Monitor(Runtime& runtime, Options options)
+    : rt_(&runtime), opt_(options), sink_(runtime.sim(), options.policy) {}
+
+Monitor::~Monitor() { uninstall(); }
+
+void Monitor::install() {
+  rt_->comm().set_observer(this);
+  rt_->store().set_observer(this);
+  installed_ = true;
+}
+
+void Monitor::uninstall() {
+  if (!installed_) return;
+  if (rt_->comm().observer() == this) rt_->comm().set_observer(nullptr);
+  if (rt_->store().observer() == this) rt_->store().set_observer(nullptr);
+  installed_ = false;
+}
+
+void Monitor::on_transmit(const Envelope& env) {
+  if (opt_.check_fifo) {
+    sink_.note_check();
+    ChannelState& ch = channel(env.src, env.dst);
+    if (!ch.tx_seen) {
+      ch.tx_seen = true;
+      ch.tx_base = env.seq;
+      ch.tx_next = env.seq;
+    }
+    if (env.seq != ch.tx_next) {
+      sink_.report("fifo", env.src,
+                   util::format("channel {}->{}: transmitted seq {} but expected {} "
+                                "(sends must be dense and monotone)",
+                                env.src, env.dst, env.seq, ch.tx_next));
+    }
+    ch.tx_next = env.seq + 1;
+    ++ch.tx_count;
+  }
+  if (opt_.check_epoch) {
+    sink_.note_check();
+    auto [it, inserted] = last_tx_epoch_.try_emplace(env.src, env.epoch);
+    if (!inserted) {
+      if (env.epoch < it->second) {
+        sink_.report("epoch", env.src,
+                     util::format("sender {} stamped epoch {} after already sending epoch {}",
+                                  env.src, env.epoch, it->second));
+      }
+      it->second = std::max(it->second, env.epoch);
+    }
+  }
+}
+
+void Monitor::on_endpoint_arrival(const Envelope& env) {
+  ChannelState& ch = channel(env.src, env.dst);
+  if (opt_.check_fifo) {
+    sink_.note_check();
+    if (ch.tx_seen && env.seq >= ch.tx_next) {
+      sink_.report("fifo", env.dst,
+                   util::format("channel {}->{}: seq {} arrived but only seqs below {} "
+                                "were ever transmitted",
+                                env.src, env.dst, env.seq, ch.tx_next));
+    }
+    // Within an incarnation nothing is dropped and FIFO order holds, so
+    // the arrival stream must replay the transmission stream exactly.
+    if (ch.rx_seen || ch.tx_seen) {
+      const std::uint64_t expected = ch.rx_seen ? ch.rx_next : ch.tx_base;
+      if (env.seq != expected) {
+        sink_.report(
+            "fifo", env.dst,
+            util::format("channel {}->{}: seq {} arrived but expected {} ({})", env.src,
+                         env.dst, env.seq, expected,
+                         env.seq > expected ? "message lost" : "duplicated or reordered"));
+      }
+    }
+    ch.rx_seen = true;
+    ch.rx_next = env.seq + 1;
+    ++ch.rx_count;
+  }
+  if (opt_.check_quiescence) {
+    sink_.note_check();
+    if (ch.marker_epoch > 0 && env.epoch < ch.marker_epoch) {
+      sink_.report("quiescence", env.dst,
+                   util::format("channel {}->{}: pre-epoch message (epoch {}, seq {}) "
+                                "arrived after the channel marker for epoch {} — "
+                                "a message leaked across the global checkpoint",
+                                env.src, env.dst, env.epoch, env.seq, ch.marker_epoch));
+    }
+  }
+}
+
+void Monitor::on_consume(Rank dst, const Envelope& env) {
+  if (opt_.check_consume) {
+    sink_.note_check();
+    ConsumeState& cs = consumed_[{dst, env.src}];
+    if (env.seq < cs.upto || cs.extra.contains(env.seq)) {
+      sink_.report("consume", dst,
+                   util::format("channel {}->{}: seq {} consumed twice", env.src, dst,
+                                env.seq));
+    } else if (env.seq == cs.upto) {
+      ++cs.upto;
+      while (cs.extra.erase(cs.upto) > 0) ++cs.upto;
+    } else {
+      cs.extra.insert(env.seq);
+    }
+  }
+  if (opt_.check_quiescence) {
+    sink_.note_check();
+    if (rt_->comm().endpoint(dst).gate().frozen()) {
+      sink_.report("quiescence", dst,
+                   util::format("rank {} consumed seq {} from {} through a frozen gate",
+                                dst, env.seq, env.src));
+    }
+  }
+}
+
+void Monitor::on_control_delivered(Rank dst, const ControlMsg& msg) {
+  if (!opt_.check_quiescence || msg.kind != ControlKind::kChannelMarker) return;
+  ChannelState& ch = channel(msg.src, dst);
+  ch.marker_epoch = std::max(ch.marker_epoch, msg.epoch);
+}
+
+void Monitor::on_incarnation_bump(std::uint32_t incarnation) {
+  (void)incarnation;
+  // Everything in flight from the old incarnation is dead; sequence
+  // counters rewind to the recovery line. All channel expectations reset
+  // (on_restore_seq re-seeds the survivors' counters).
+  channels_.clear();
+  consumed_.clear();
+  last_tx_epoch_.clear();
+  // Writer processes killed mid-write never report completion.
+  active_writes_.clear();
+}
+
+void Monitor::on_flush(Rank rank) {
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    if (it->first.first == rank || it->first.second == rank) {
+      it = channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = consumed_.begin(); it != consumed_.end();) {
+    if (it->first.first == rank) {
+      it = consumed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  last_tx_epoch_.erase(rank);
+}
+
+void Monitor::on_restore_seq(Rank rank, const ChannelSeqState& state) {
+  for (const auto& [dst, seq] : state.send_next) {
+    ChannelState& ch = channel(rank, static_cast<Rank>(dst));
+    ch.tx_seen = true;
+    ch.tx_base = seq;
+    ch.tx_next = seq;
+    ch.tx_count = 0;
+  }
+  for (const auto& [src, seq] : state.consumed_upto) {
+    consumed_[{rank, static_cast<Rank>(src)}].upto = seq;
+  }
+  for (const auto& [src, seq] : state.consumed_extra) {
+    consumed_[{rank, static_cast<Rank>(src)}].extra.insert(seq);
+  }
+}
+
+void Monitor::on_image_write_begin(Rank rank, std::uint32_t index) {
+  if (opt_.check_stagger) {
+    sink_.note_check();
+    if (!active_writes_.empty()) {
+      const auto& [other_rank, other_index] = *active_writes_.begin();
+      sink_.report("stagger", rank,
+                   util::format("rank {} started writing checkpoint image {} while rank "
+                                "{} is still writing image {} — staggered schemes must "
+                                "serialize stable-storage writes",
+                                rank, index, other_rank, other_index));
+    }
+  }
+  active_writes_[rank] = index;
+}
+
+void Monitor::on_image_write_end(Rank rank, std::uint32_t index) {
+  (void)index;
+  active_writes_.erase(rank);
+}
+
+std::uint64_t Monitor::in_flight() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [key, ch] : channels_) {
+    if (ch.tx_count > ch.rx_count) total += ch.tx_count - ch.rx_count;
+  }
+  return total;
+}
+
+void Monitor::finalize() {
+  if (!opt_.strict_final_inflight) return;
+  for (const auto& [key, ch] : channels_) {
+    sink_.note_check();
+    if (ch.tx_count != ch.rx_count) {
+      sink_.report("conservation", key.second,
+                   util::format("channel {}->{}: {} transmitted but {} arrived at the "
+                                "end of the run",
+                                key.first, key.second, ch.tx_count, ch.rx_count));
+    }
+  }
+}
+
+}  // namespace chk::chklib::verify

@@ -1,0 +1,93 @@
+#include "chklib/verify/oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace chk::chklib::verify {
+
+bool line_consistent(const std::vector<ProcessHistory>& histories,
+                     const std::vector<std::uint32_t>& line, LineMode mode) {
+  const std::size_t n = histories.size();
+  // Orphan rule: a receive remembered by the receiver whose send the
+  // sender has forgotten.
+  for (std::size_t q = 0; q < n; ++q) {
+    for (const RecvRecord& rec : histories[q].recvs) {
+      if (rec.recv_interval < line[q] && rec.send_interval >= line[rec.src]) return false;
+    }
+  }
+  if (mode == LineMode::kStrict) {
+    // Lost-message rule: a send remembered by the sender whose receive the
+    // receiver has forgotten (or that was never received at all).
+    std::vector<std::map<std::pair<Rank, std::uint64_t>, std::uint32_t>> recv_at(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      for (const RecvRecord& rec : histories[q].recvs) {
+        recv_at[q][{rec.src, rec.seq}] = rec.recv_interval;
+      }
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      for (const SendRecord& rec : histories[p].sends) {
+        if (rec.interval >= line[p]) continue;
+        const auto it = recv_at[rec.dst].find({static_cast<Rank>(p), rec.seq});
+        const std::uint32_t recv_interval =
+            it == recv_at[rec.dst].end() ? std::numeric_limits<std::uint32_t>::max()
+                                         : it->second;
+        if (recv_interval >= line[rec.dst]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+OracleResult brute_force_line(const std::vector<ProcessHistory>& histories, LineMode mode,
+                              std::uint64_t max_lines) {
+  const std::size_t n = histories.size();
+  // Candidate indices per rank: the initial state plus every saved checkpoint.
+  std::vector<std::vector<std::uint32_t>> candidates(n);
+  std::uint64_t total = 1;
+  for (std::size_t p = 0; p < n; ++p) {
+    candidates[p].push_back(0);
+    for (std::uint32_t index : histories[p].saved) {
+      if (index != 0) candidates[p].push_back(index);
+    }
+    total *= candidates[p].size();
+    if (total > max_lines) {
+      throw std::invalid_argument("brute_force_line: candidate space too large");
+    }
+  }
+
+  OracleResult result;
+  result.line.index.assign(n, 0);
+  std::vector<std::uint32_t> line(n, 0);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    std::uint64_t rest = i;
+    for (std::size_t p = 0; p < n; ++p) {
+      line[p] = candidates[p][rest % candidates[p].size()];
+      rest /= candidates[p].size();
+    }
+    ++result.lines_tested;
+    if (line_consistent(histories, line, mode)) {
+      ++result.consistent_lines;
+      for (std::size_t p = 0; p < n; ++p) {
+        result.line.index[p] = std::max(result.line.index[p], line[p]);
+      }
+    }
+  }
+  result.max_is_consistent = line_consistent(histories, result.line.index, mode);
+  result.domino_depth = domino_depths(histories, result.line);
+  return result;
+}
+
+std::vector<std::uint32_t> domino_depths(const std::vector<ProcessHistory>& histories,
+                                         const RecoveryLine& line) {
+  std::vector<std::uint32_t> depths(histories.size(), 0);
+  for (std::size_t p = 0; p < histories.size(); ++p) {
+    const std::uint32_t newest = histories[p].saved.empty() ? 0 : histories[p].saved.back();
+    depths[p] = newest > line.index[p] ? newest - line.index[p] : 0;
+  }
+  return depths;
+}
+
+}  // namespace chk::chklib::verify

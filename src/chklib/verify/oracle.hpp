@@ -1,0 +1,50 @@
+// Brute-force recovery-line oracle.
+//
+// recovery/line.cpp computes the maximal consistent line with a rollback
+// propagation fixpoint. This oracle re-derives the same answer from first
+// principles: enumerate every candidate line (one restorable checkpoint
+// index per rank), test each against a direct statement of the consistency
+// predicate, and take the componentwise maximum of the consistent ones.
+// Consistent lines are closed under join in both modes (a violation in the
+// join projects to a violation in one operand), so that maximum is itself
+// the unique maximal consistent line — the oracle verifies this lattice
+// property explicitly rather than assuming it.
+//
+// Exponential in the number of ranks, so this is a test-time tool for
+// small histories, not a production path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chklib/recovery/line.hpp"
+
+namespace chk::chklib::verify {
+
+struct OracleResult {
+  RecoveryLine line;                        ///< componentwise max of consistent lines
+  std::uint64_t lines_tested = 0;
+  std::uint64_t consistent_lines = 0;       ///< always >= 1 (the all-zero line)
+  bool max_is_consistent = false;           ///< lattice-closure sanity check
+  /// Lost work per rank: newest saved checkpoint minus the line (the
+  /// domino-effect depth the paper's independent schemes suffer).
+  std::vector<std::uint32_t> domino_depth;
+};
+
+/// Direct consistency predicate: no orphan message, and in kStrict mode no
+/// lost message either (identical semantics to recovery/line.cpp).
+[[nodiscard]] bool line_consistent(const std::vector<ProcessHistory>& histories,
+                                   const std::vector<std::uint32_t>& line, LineMode mode);
+
+/// Enumerate all candidate lines and return the maximal consistent one.
+/// Throws std::invalid_argument if the candidate space exceeds `max_lines`
+/// (guards against accidental exponential blowup in tests).
+[[nodiscard]] OracleResult brute_force_line(const std::vector<ProcessHistory>& histories,
+                                            LineMode mode,
+                                            std::uint64_t max_lines = std::uint64_t{1} << 22);
+
+/// Domino depth of a line against the newest saved checkpoints.
+[[nodiscard]] std::vector<std::uint32_t> domino_depths(
+    const std::vector<ProcessHistory>& histories, const RecoveryLine& line);
+
+}  // namespace chk::chklib::verify

@@ -51,6 +51,13 @@ class Process {
   /// Throws ProcessKilled after a kill.
   void suspend(std::function<void()> cancel);
 
+  /// Drop the pending suspend-cancel callback. Blocking primitives call
+  /// this from their destructors for every process still on their wait
+  /// list: if the primitive dies before the parked process is killed
+  /// (owner destroyed before the simulator shuts down), the callback
+  /// would otherwise touch the primitive's freed wait list.
+  void detach_cancel() noexcept { cancel_ = nullptr; }
+
  private:
   friend class Simulator;
 

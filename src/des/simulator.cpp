@@ -30,11 +30,16 @@ void Simulator::shutdown() noexcept {
   for (auto& proc : processes_) {
     if (proc->state_ == Process::State::kFinished) continue;
     proc->killed_ = true;
-    if (proc->cancel_) {
+    // Unhook a parked process from its wait list. A kReady process was
+    // already removed by its waker (only the resume event is pending), so
+    // its cancel callback is stale — and the wait list it names may be
+    // gone by now; drop it without running it, exactly as kill() does.
+    if (proc->state_ == Process::State::kBlocked && proc->cancel_) {
       auto cancel = std::move(proc->cancel_);
       proc->cancel_ = nullptr;
       cancel();
     }
+    proc->cancel_ = nullptr;
     proc->run_baton_.release();
     kernel_baton_.acquire();  // wait for the thread to unwind & yield back
   }
@@ -126,9 +131,28 @@ std::size_t Simulator::live_processes() const noexcept {
   return n;
 }
 
+namespace {
+/// splitmix64 finalizer: mixes one word into the trace hash.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
 RunResult Simulator::run(TimePoint until, std::uint64_t max_events) {
   if (running_) throw SimError("run: reentrant call");
   running_ = true;
+  // An event callback may throw (e.g. a deferred invariant violation);
+  // reset the reentrancy flag on every exit path so the simulator stays
+  // usable for inspection and teardown.
+  struct RunningGuard {
+    bool* flag;
+    ~RunningGuard() { *flag = false; }
+  } guard{&running_};
   stop_requested_ = false;
   RunResult result;
   while (true) {
@@ -145,11 +169,12 @@ RunResult Simulator::run(TimePoint until, std::uint64_t max_events) {
     now_ = entry.event->time;
     ++result.events_executed;
     ++events_executed_;
+    trace_hash_ = mix64(trace_hash_ ^ static_cast<std::uint64_t>(now_.to_nanos()) ^
+                        (entry.event->seq << 1));
     auto fn = std::move(entry.event->fn);
     entry.event->cancelled = true;  // mark consumed so handles report !pending
     fn();
   }
-  running_ = false;
   result.end_time = now_;
   CHK_DEBUG("des", "run finished: {} at {} after {} events", to_string(result.reason),
             now_.str(), result.events_executed);

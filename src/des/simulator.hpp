@@ -91,6 +91,11 @@ class Simulator {
   [[nodiscard]] TimePoint now() const noexcept { return now_; }
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return events_executed_; }
 
+  /// Order-sensitive hash over every executed event's (time, seq). Two runs
+  /// of the same model with the same seed must produce identical hashes —
+  /// the determinism invariant the verify/ subsystem checks.
+  [[nodiscard]] std::uint64_t trace_hash() const noexcept { return trace_hash_; }
+
   /// Schedule a callback. Callbacks run in kernel context: they must not
   /// block (use a process for blocking behaviour). Scheduling in the past
   /// is an error; scheduling at the current instant runs after all events
@@ -166,6 +171,7 @@ class Simulator {
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t trace_hash_ = 0x9e3779b97f4a7c15ULL;
   bool running_ = false;
   bool stop_requested_ = false;
   Process* current_ = nullptr;

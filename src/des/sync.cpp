@@ -2,6 +2,18 @@
 
 namespace chk::des {
 
+// A primitive can die while processes are still parked on it (its owner
+// may be destroyed before the simulator shuts down and kills them). The
+// parked processes' cancel callbacks reference our wait list, so detach
+// them: the eventual kill then skips the (dangling) unhook.
+SimSemaphore::~SimSemaphore() {
+  for (Process* waiter : wait_queue_) waiter->detach_cancel();
+}
+
+SimBarrier::~SimBarrier() {
+  for (Process* waiter : waiting_) waiter->detach_cancel();
+}
+
 void SimSemaphore::acquire(Process& self) {
   if (count_ > 0) {
     --count_;

@@ -25,6 +25,7 @@ class SimSemaphore {
       : sim_(&sim), count_(initial) {}
   SimSemaphore(const SimSemaphore&) = delete;
   SimSemaphore& operator=(const SimSemaphore&) = delete;
+  ~SimSemaphore();
 
   /// Block the calling process until a unit is available.
   void acquire(Process& self);
@@ -51,6 +52,9 @@ class SimMailbox {
   explicit SimMailbox(Simulator& sim) : sim_(&sim) {}
   SimMailbox(const SimMailbox&) = delete;
   SimMailbox& operator=(const SimMailbox&) = delete;
+  ~SimMailbox() {
+    for (Process* receiver : receivers_) receiver->detach_cancel();
+  }
 
   /// Deposit a message; callable from kernel or process context.
   void send(T message) {
@@ -102,6 +106,7 @@ class SimBarrier {
   SimBarrier(Simulator& sim, std::size_t parties) : sim_(&sim), parties_(parties) {}
   SimBarrier(const SimBarrier&) = delete;
   SimBarrier& operator=(const SimBarrier&) = delete;
+  ~SimBarrier();
 
   /// Block until all parties have arrived; the last arrival releases all.
   void arrive_and_wait(Process& self);

@@ -4,6 +4,7 @@
 
 #include "chklib/proto/coordinated.hpp"
 #include "chklib/proto/independent.hpp"
+#include "chklib/verify/monitor.hpp"
 #include "des/simulator.hpp"
 
 namespace chk::harness {
@@ -37,6 +38,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                                          config.message_logging});
   }
 
+  std::unique_ptr<chklib::verify::Monitor> monitor;
+  if (config.verify) {
+    monitor = std::make_unique<chklib::verify::Monitor>(
+        runtime, chklib::verify::Monitor::options_for(config.scheme));
+    monitor->install();
+  }
+
   std::unique_ptr<chklib::RecoveryManager> recovery;
   if (protocol) {
     protocol->start();
@@ -54,6 +62,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.scheme = config.scheme;
   result.exec_time_s = runtime.apps_finished_at().to_seconds();
   result.events = sim.events_executed();
+  result.trace_hash = sim.trace_hash();
+  if (monitor) {
+    monitor->finalize();
+    result.invariant_checks = monitor->checks();
+    result.invariant_violations = monitor->violations();
+    result.messages_in_flight_at_end = monitor->in_flight();
+  }
 
   auto& machine = runtime.machine();
   for (Rank r = 0; r < runtime.num_ranks(); ++r) {
@@ -92,6 +107,17 @@ ExperimentResult run_normal(ExperimentConfig config) {
   config.scheme = Scheme::kNone;
   config.failure.reset();
   return run_experiment(config);
+}
+
+DeterminismReport check_determinism(const ExperimentConfig& config) {
+  DeterminismReport report;
+  report.first = run_experiment(config);
+  report.second = run_experiment(config);
+  report.deterministic = report.first.trace_hash == report.second.trace_hash &&
+                         report.first.events == report.second.events &&
+                         report.first.exec_time_s == report.second.exec_time_s &&
+                         report.first.digest == report.second.digest;
+  return report;
 }
 
 }  // namespace chk::harness

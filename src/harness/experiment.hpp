@@ -52,6 +52,14 @@ struct ExperimentConfig {
   /// Incremental checkpointing (coordinated schemes only).
   bool incremental = false;
   std::uint32_t full_every = 4;
+  /// Install the verify/ invariant monitor for this run (FIFO channels,
+  /// coordinated quiescence, stagger mutual exclusion, ...). Defaults to on
+  /// in CHK_INVARIANTS builds, where a violation aborts the process.
+#ifdef CHK_INVARIANTS
+  bool verify = true;
+#else
+  bool verify = false;
+#endif
 };
 
 struct ExperimentResult {
@@ -59,6 +67,14 @@ struct ExperimentResult {
   Scheme scheme = Scheme::kNone;
   double exec_time_s = 0;  ///< application completion time (simulated)
   std::uint64_t events = 0;
+  /// Order-sensitive hash of the executed event trace (determinism check:
+  /// identical config + seed must yield identical hashes).
+  std::uint64_t trace_hash = 0;
+
+  // invariant checking (populated when config.verify is set)
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t invariant_violations = 0;
+  std::uint64_t messages_in_flight_at_end = 0;
 
   // overhead breakdown
   double app_blocked_s = 0;     ///< time application processes spent frozen/parked
@@ -93,5 +109,14 @@ struct ExperimentResult {
 
 /// Convenience: run the same app/machine without checkpointing.
 [[nodiscard]] ExperimentResult run_normal(ExperimentConfig config);
+
+/// DES determinism check: run `config` twice and compare event counts,
+/// completion times, result digests and event-trace hashes.
+struct DeterminismReport {
+  bool deterministic = false;
+  ExperimentResult first;
+  ExperimentResult second;
+};
+[[nodiscard]] DeterminismReport check_determinism(const ExperimentConfig& config);
 
 }  // namespace chk::harness

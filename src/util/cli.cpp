@@ -57,4 +57,12 @@ bool Cli::get_bool(const std::string& key, bool fallback) const {
   return it->second != "false" && it->second != "0" && it->second != "no";
 }
 
+bool verify_requested(const Cli& cli) {
+#ifdef CHK_INVARIANTS
+  return cli.get_bool("verify", true);
+#else
+  return cli.get_bool("verify", false);
+#endif
+}
+
 }  // namespace chk::util

@@ -31,4 +31,9 @@ class Cli {
   std::vector<std::string> positional_;
 };
 
+/// Shared "--verify" / "--no-verify" convention for example and bench
+/// binaries: run with the protocol invariant monitor installed. The default
+/// follows the build: on under CHK_INVARIANTS, off otherwise.
+[[nodiscard]] bool verify_requested(const Cli& cli);
+
 }  // namespace chk::util

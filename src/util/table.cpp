@@ -56,11 +56,13 @@ std::string Table::render(const std::string& title) const {
     for (std::size_t c = 0; c < ncols; ++c) {
       const std::string& cell = row[c];
       const std::size_t pad = width[c] - cell.size();
+      line += ' ';
       if (align_right_numeric && numeric[c]) {
-        line += " " + std::string(pad, ' ') + cell + " |";
+        line.append(pad, ' ').append(cell);
       } else {
-        line += " " + cell + std::string(pad, ' ') + " |";
+        line.append(cell).append(pad, ' ');
       }
+      line += " |";
     }
     return line + "\n";
   };

@@ -136,13 +136,13 @@ TEST(Process, TwoProcessesInterleaveDeterministically) {
   std::vector<std::string> log;
   sim.spawn("a", [&](Process& self) {
     for (int i = 0; i < 3; ++i) {
-      log.push_back("a" + std::to_string(i));
+      log.push_back(std::string("a") + std::to_string(i));
       self.delay(Duration::millis(10));
     }
   });
   sim.spawn("b", [&](Process& self) {
     for (int i = 0; i < 3; ++i) {
-      log.push_back("b" + std::to_string(i));
+      log.push_back(std::string("b") + std::to_string(i));
       self.delay(Duration::millis(15));
     }
   });
@@ -243,9 +243,9 @@ TEST(Semaphore, BlocksUntilRelease) {
   SimSemaphore sem(sim, 0);
   std::vector<std::string> log;
   sim.spawn("waiter", [&](Process& self) {
-    log.push_back("wait@" + std::to_string(self.now().to_nanos()));
+    log.push_back(std::string("wait@") + std::to_string(self.now().to_nanos()));
     sem.acquire(self);
-    log.push_back("got@" + std::to_string(self.now().to_nanos()));
+    log.push_back(std::string("got@") + std::to_string(self.now().to_nanos()));
   });
   sim.spawn("poster", [&](Process& self) {
     self.delay(Duration::nanos(50));
@@ -275,7 +275,7 @@ TEST(Semaphore, FifoWakeOrder) {
   SimSemaphore sem(sim, 0);
   std::vector<int> order;
   for (int i = 0; i < 3; ++i) {
-    sim.spawn_at(TimePoint::origin() + Duration::millis(i), "w" + std::to_string(i),
+    sim.spawn_at(TimePoint::origin() + Duration::millis(i), std::string("w") + std::to_string(i),
                  [&, i](Process& self) {
                    sem.acquire(self);
                    order.push_back(i);
@@ -362,7 +362,7 @@ TEST(Barrier, ReleasesAllTogether) {
   SimBarrier barrier(sim, 3);
   std::vector<double> release_times;
   for (int i = 0; i < 3; ++i) {
-    sim.spawn("p" + std::to_string(i), [&, i](Process& self) {
+    sim.spawn(std::string("p") + std::to_string(i), [&, i](Process& self) {
       self.delay(Duration::millis(10 * (i + 1)));
       barrier.arrive_and_wait(self);
       release_times.push_back(self.now().to_seconds());
@@ -378,7 +378,7 @@ TEST(Barrier, Reusable) {
   SimBarrier barrier(sim, 2);
   int rounds_done = 0;
   for (int p = 0; p < 2; ++p) {
-    sim.spawn("p" + std::to_string(p), [&, p](Process& self) {
+    sim.spawn(std::string("p") + std::to_string(p), [&, p](Process& self) {
       for (int round = 0; round < 5; ++round) {
         self.delay(Duration::millis(p == 0 ? 3 : 7));
         barrier.arrive_and_wait(self);
@@ -397,7 +397,7 @@ TEST(Resource, SerializesUsers) {
   SimResource res(sim, "disk");
   std::vector<double> done_times;
   for (int i = 0; i < 3; ++i) {
-    sim.spawn("u" + std::to_string(i), [&](Process& self) {
+    sim.spawn(std::string("u") + std::to_string(i), [&](Process& self) {
       res.use(self, Duration::secs(1));
       done_times.push_back(self.now().to_seconds());
     });

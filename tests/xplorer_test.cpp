@@ -290,8 +290,8 @@ TEST(Storage, ConcurrentWritersContend) {
     Simulator sim;
     Machine machine(sim, test_config());
     for (std::size_t n = 0; n < writers; ++n) {
-      sim.spawn("w" + std::to_string(n), [&machine, n](Process& self) {
-        machine.storage().write_blocking(self, n, "ckpt/" + std::to_string(n),
+      sim.spawn(std::string("w") + std::to_string(n), [&machine, n](Process& self) {
+        machine.storage().write_blocking(self, n, std::string("ckpt/") + std::to_string(n),
                                          std::vector<std::byte>(200'000));
       });
     }
