@@ -23,9 +23,45 @@ const std::vector<Scheme>& sweep_schemes() {
   return all;
 }
 
+const std::vector<std::uint32_t>& sweep_counts() {
+  static const std::vector<std::uint32_t> counts{1, 2, 4, 6, 8, 12};
+  return counts;
+}
+
 std::map<std::uint32_t, std::map<std::string, double>>& sweep() {
   static std::map<std::uint32_t, std::map<std::string, double>> map;
   return map;
+}
+
+ExperimentConfig point_config(const BenchRow& row, Scheme scheme,
+                              std::uint32_t checkpoints, double normal_exec_s) {
+  ExperimentConfig config;
+  config.label = row.label;
+  config.app = row.app;
+  config.scheme = scheme;
+  config.checkpoints = checkpoints;
+  config.interval = des::Duration::seconds(normal_exec_s / (checkpoints + 1.0));
+  return config;
+}
+
+std::string point_key(const BenchRow& row, Scheme scheme, std::uint32_t checkpoints) {
+  return util::format("{}/{}/k{}", row.label, to_string(scheme), checkpoints);
+}
+
+// Warm the cache in parallel: every (checkpoint-count, scheme) point is an
+// independent simulation once the shared baseline exists.
+void prefetch() {
+  auto& cache = ResultCache::instance();
+  const BenchRow row = harness::find_row("SOR-1024");
+  const auto& normal = cache.normal(row);
+  const auto& counts = sweep_counts();
+  const auto& schemes = sweep_schemes();
+  parallel_for(counts.size() * schemes.size(), [&](std::size_t i) {
+    const std::uint32_t k = counts[i / schemes.size()];
+    const Scheme scheme = schemes[i % schemes.size()];
+    cache.run(point_key(row, scheme, k),
+              point_config(row, scheme, k, normal.exec_time_s));
+  });
 }
 
 void run_point(benchmark::State& state, std::uint32_t checkpoints) {
@@ -34,15 +70,9 @@ void run_point(benchmark::State& state, std::uint32_t checkpoints) {
   const auto& normal = cache.normal(row);
   for (auto _ : state) {
     for (Scheme scheme : sweep_schemes()) {
-      ExperimentConfig config;
-      config.label = row.label;
-      config.app = row.app;
-      config.scheme = scheme;
-      config.checkpoints = checkpoints;
-      config.interval =
-          des::Duration::seconds(normal.exec_time_s / (checkpoints + 1.0));
-      const auto& result = cache.run(
-          util::format("{}/{}/k{}", row.label, to_string(scheme), checkpoints), config);
+      const auto& result =
+          cache.run(point_key(row, scheme, checkpoints),
+                    point_config(row, scheme, checkpoints, normal.exec_time_s));
       sweep()[checkpoints][std::string(to_string(scheme))] =
           result.exec_time_s - normal.exec_time_s;
     }
@@ -51,7 +81,7 @@ void run_point(benchmark::State& state, std::uint32_t checkpoints) {
 }
 
 void register_benchmarks() {
-  for (std::uint32_t k : {1u, 2u, 4u, 6u, 8u, 12u}) {
+  for (std::uint32_t k : sweep_counts()) {
     benchmark::RegisterBenchmark(util::format("Interval/ckpts{}", k).c_str(),
                                  [k](benchmark::State& state) { run_point(state, k); })
         ->Iterations(1)
@@ -81,14 +111,43 @@ void print_table() {
             "checkpointing affordable.");
 }
 
+void write_json() {
+  using obs::json::Value;
+  auto& cache = ResultCache::instance();
+  const auto normal = cache.lookup(cell_key("SOR-1024", Scheme::kNone));
+  Value doc = Value::object();
+  doc.set("table", Value::string("ablation_interval"));
+  doc.set("row", Value::string("SOR-1024"));
+  if (normal) doc.set("normal", result_to_json(*normal, nullptr));
+  Value points = Value::array();
+  for (const auto& [k, by_scheme] : sweep()) {
+    Value point = Value::object();
+    point.set("checkpoints", Value::number(std::uint64_t{k}));
+    if (normal) {
+      point.set("interval_s", Value::number(normal->exec_time_s / (k + 1.0)));
+    }
+    Value overhead = Value::object();
+    for (const auto& [scheme, overhead_s] : by_scheme) {
+      overhead.set(scheme, Value::number(overhead_s));
+    }
+    point.set("overhead_s", std::move(overhead));
+    points.push_back(std::move(point));
+  }
+  doc.set("points", std::move(points));
+  write_bench_json("BENCH_ablation_interval.json", doc);
+}
+
 }  // namespace
 }  // namespace chk::bench
 
 int main(int argc, char** argv) {
+  const bool warm = chk::bench::prefetch_enabled(argc, argv);
   benchmark::Initialize(&argc, argv);
   chk::bench::register_benchmarks();
+  if (warm) chk::bench::prefetch();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   chk::bench::print_table();
+  chk::bench::write_json();
   return 0;
 }

@@ -57,19 +57,23 @@ std::map<std::size_t, Cell>& cells() {
 
 void run_node_count(benchmark::State& state, std::size_t nodes) {
   for (auto _ : state) {
-    auto normal_cfg = sor_config(nodes, Scheme::kNone, false, 60);
-    const auto normal = harness::run_experiment(normal_cfg);
+    // The two baselines are independent; so are the two checkpointed runs
+    // once the interval is known. Fan each pair out (two phases).
+    harness::ExperimentResult normal, sync_normal;
+    parallel_for(2, [&](std::size_t i) {
+      auto config = sor_config(nodes, Scheme::kNone, /*free_storage=*/i == 1, 60);
+      (i == 0 ? normal : sync_normal) = harness::run_experiment(config);
+    });
     const double interval = normal.exec_time_s / 4.0;
-    const auto full =
-        harness::run_experiment(sor_config(nodes, Scheme::kCoordNB, false, interval));
     // Empty images on a free-storage machine: saving costs nothing at all;
     // the residual overhead is the synchronization protocol itself
     // (requests, markers, acks, commit).
-    auto sync_norm_cfg = sor_config(nodes, Scheme::kNone, true, 60);
-    const auto sync_normal = harness::run_experiment(sync_norm_cfg);
-    auto sync_cfg = sor_config(nodes, Scheme::kCoordNB, true, interval);
-    sync_cfg.ablate_empty_checkpoints = true;
-    const auto sync_only = harness::run_experiment(sync_cfg);
+    harness::ExperimentResult full, sync_only;
+    parallel_for(2, [&](std::size_t i) {
+      auto config = sor_config(nodes, Scheme::kCoordNB, /*free_storage=*/i == 1, interval);
+      if (i == 1) config.ablate_empty_checkpoints = true;
+      (i == 0 ? full : sync_only) = harness::run_experiment(config);
+    });
     Cell cell;
     cell.normal = normal.exec_time_s;
     cell.full = full.exec_time_s - normal.exec_time_s;
@@ -113,6 +117,26 @@ void print_table() {
             "paper's central conclusion.");
 }
 
+void write_json() {
+  using obs::json::Value;
+  Value doc = Value::object();
+  doc.set("table", Value::string("ablation_sync_cost"));
+  Value points = Value::array();
+  for (const auto& [nodes, cell] : cells()) {
+    Value point = Value::object();
+    point.set("nodes", Value::number(std::uint64_t{nodes}));
+    point.set("normal_s", Value::number(cell.normal));
+    point.set("full_overhead_s", Value::number(cell.full));
+    point.set("sync_only_s", Value::number(cell.sync_only));
+    if (cell.full > 0) point.set("sync_share", Value::number(cell.sync_only / cell.full));
+    point.set("control_messages", Value::number(cell.ctrl_msgs));
+    point.set("control_bytes", Value::number(cell.ctrl_bytes));
+    points.push_back(std::move(point));
+  }
+  doc.set("points", std::move(points));
+  write_bench_json("BENCH_ablation_sync_cost.json", doc);
+}
+
 }  // namespace
 }  // namespace chk::bench
 
@@ -122,5 +146,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   chk::bench::print_table();
+  chk::bench::write_json();
   return 0;
 }

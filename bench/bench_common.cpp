@@ -1,5 +1,14 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "obs/export.hpp"
 #include "util/format.hpp"
 
 namespace chk::bench {
@@ -9,22 +18,37 @@ ResultCache& ResultCache::instance() {
   return cache;
 }
 
+const ExperimentResult* ResultCache::find(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cache_.find(key);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+const ExperimentResult& ResultCache::insert(const std::string& key,
+                                            ExperimentResult result) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // try_emplace: if another worker finished the same (deterministic) run
+  // first, keep its copy; std::map references are stable either way.
+  return cache_.try_emplace(key, std::move(result)).first->second;
+}
+
 const ExperimentResult& ResultCache::normal(const BenchRow& row) {
   const std::string key = cell_key(row.label, Scheme::kNone);
-  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  if (const auto* hit = find(key)) return *hit;
   ExperimentConfig config;
   config.label = row.label;
   config.app = row.app;
-  return cache_.emplace(key, harness::run_normal(config)).first->second;
+  return insert(key, harness::run_normal(config));
 }
 
 const ExperimentResult& ResultCache::run(const std::string& key,
                                          const ExperimentConfig& config) {
-  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
-  return cache_.emplace(key, harness::run_experiment(config)).first->second;
+  if (const auto* hit = find(key)) return *hit;
+  return insert(key, harness::run_experiment(config));
 }
 
 std::optional<ExperimentResult> ResultCache::lookup(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = cache_.find(key);
   if (it == cache_.end()) return std::nullopt;
   return it->second;
@@ -44,6 +68,101 @@ void set_common_counters(benchmark::State& state, const ExperimentResult& result
   state.counters["ckpt_MiB"] = static_cast<double>(result.bytes_written) / (1 << 20);
   state.counters["blocked_s"] = result.app_blocked_s;
   state.counters["disk_wait_s"] = result.disk_wait_s;
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& work) {
+  if (count == 0) return;
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t workers = std::min(count, hw);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) work(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::future<void>> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.push_back(std::async(std::launch::async, [&next, count, &work] {
+      for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        work(i);
+      }
+    }));
+  }
+  for (auto& worker : pool) worker.get();
+}
+
+bool prefetch_enabled(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_filter")) return false;
+  }
+  return true;
+}
+
+void prefetch_table(const std::vector<BenchRow>& rows, const std::vector<Scheme>& schemes,
+                    const CellConfigFn& cell_config) {
+  auto& cache = ResultCache::instance();
+  parallel_for(rows.size(), [&](std::size_t i) { cache.normal(rows[i]); });
+  parallel_for(rows.size() * schemes.size(), [&](std::size_t i) {
+    const BenchRow& row = rows[i / schemes.size()];
+    const Scheme scheme = schemes[i % schemes.size()];
+    cache.run(cell_key(row.label, scheme), cell_config(row, scheme, cache.normal(row)));
+  });
+}
+
+obs::json::Value result_to_json(const ExperimentResult& result,
+                                const ExperimentResult* normal) {
+  using obs::json::Value;
+  Value cell = Value::object();
+  cell.set("scheme", Value::string(std::string(to_string(result.scheme))));
+  cell.set("exec_time_s", Value::number(result.exec_time_s));
+  cell.set("events", Value::number(result.events));
+  cell.set("trace_hash", Value::string(util::format("{:016x}", result.trace_hash)));
+  cell.set("app_blocked_s", Value::number(result.app_blocked_s));
+  cell.set("interference_s", Value::number(result.interference_s));
+  cell.set("frozen_stall_s", Value::number(result.frozen_stall_s));
+  cell.set("disk_wait_s", Value::number(result.disk_wait_s));
+  cell.set("control_messages", Value::number(result.control_messages));
+  cell.set("control_bytes", Value::number(result.control_bytes));
+  cell.set("local_checkpoints", Value::number(result.local_checkpoints));
+  cell.set("committed_rounds", Value::number(std::uint64_t{result.committed_rounds}));
+  cell.set("bytes_written", Value::number(result.bytes_written));
+  if (normal != nullptr && normal->exec_time_s > 0) {
+    cell.set("overhead_s", Value::number(result.exec_time_s - normal->exec_time_s));
+    cell.set("overhead_pct",
+             Value::number((result.exec_time_s / normal->exec_time_s - 1.0) * 100.0));
+  }
+  return cell;
+}
+
+obs::json::Value table_json(const std::string& table, const std::vector<BenchRow>& rows,
+                            const std::vector<Scheme>& schemes) {
+  using obs::json::Value;
+  auto& cache = ResultCache::instance();
+  Value doc = Value::object();
+  doc.set("table", Value::string(table));
+  Value row_array = Value::array();
+  for (const BenchRow& row : rows) {
+    Value entry = Value::object();
+    entry.set("label", Value::string(row.label));
+    entry.set("approx_state_bytes", Value::number(row.approx_state_bytes));
+    const auto normal = cache.lookup(cell_key(row.label, Scheme::kNone));
+    if (normal) entry.set("normal", result_to_json(*normal, nullptr));
+    Value cells = Value::array();
+    for (Scheme scheme : schemes) {
+      if (const auto result = cache.lookup(cell_key(row.label, scheme))) {
+        cells.push_back(result_to_json(*result, normal ? &*normal : nullptr));
+      }
+    }
+    entry.set("cells", std::move(cells));
+    row_array.push_back(std::move(entry));
+  }
+  doc.set("rows", std::move(row_array));
+  return doc;
+}
+
+void write_bench_json(const std::string& path, const obs::json::Value& doc) {
+  obs::write_text_file(path, doc.dump() + "\n");
+  std::printf("\nWrote %s\n", path.c_str());
 }
 
 const std::vector<Scheme>& table1_schemes() {

@@ -5,17 +5,27 @@
 // wall time is the simulator's own performance) and stores the simulated
 // metrics both as benchmark counters and in a process-wide cache. After
 // RunSpecifiedBenchmarks, main() prints the reconstructed paper table from
-// the cache.
+// the cache and writes a machine-readable BENCH_<name>.json next to it.
+//
+// Drivers may warm the cache up front with prefetch_table(): every
+// (row, scheme) simulation is independent, so the warm-up fans out over a
+// small thread pool. The subsequent benchmark pass and the table printer
+// then read finished cells — output ordering never depends on completion
+// order.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "harness/catalog.hpp"
 #include "harness/experiment.hpp"
+#include "obs/json.hpp"
 #include "util/table.hpp"
 
 namespace chk::bench {
@@ -26,7 +36,10 @@ using harness::ExperimentResult;
 using harness::Scheme;
 
 /// Process-wide experiment cache: normal baselines are shared between
-/// cells, and the end-of-run table printer reads finished cells.
+/// cells, and the end-of-run table printer reads finished cells. Safe to
+/// call from the prefetch worker threads; a simulation runs outside the
+/// lock and the first finisher of a key wins (runs are deterministic, so
+/// duplicates are identical anyway).
 class ResultCache {
  public:
   static ResultCache& instance();
@@ -40,6 +53,10 @@ class ResultCache {
   [[nodiscard]] std::optional<ExperimentResult> lookup(const std::string& key) const;
 
  private:
+  const ExperimentResult* find(const std::string& key) const;
+  const ExperimentResult& insert(const std::string& key, ExperimentResult result);
+
+  mutable std::mutex mu_;
   std::map<std::string, ExperimentResult> cache_;
 };
 
@@ -49,6 +66,39 @@ class ResultCache {
 /// Attach the standard simulated metrics to a benchmark's counters.
 void set_common_counters(benchmark::State& state, const ExperimentResult& result,
                          const ExperimentResult& normal);
+
+/// Run work(0..count-1) on a small thread pool (bounded by the hardware
+/// concurrency); blocks until every item has finished. The first exception
+/// propagates to the caller.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& work);
+
+/// Whether the driver should warm the whole cache up front: true unless
+/// the user narrowed the run with --benchmark_filter (prefetching every
+/// cell would defeat the filter).
+[[nodiscard]] bool prefetch_enabled(int argc, char** argv);
+
+/// Two-phase parallel cache warm-up for the table drivers. Phase 1 runs
+/// every row's baseline (cell configs depend on the baseline's execution
+/// time); phase 2 runs every (row, scheme) cell through `cell_config`.
+using CellConfigFn =
+    std::function<ExperimentConfig(const BenchRow&, Scheme, const ExperimentResult&)>;
+void prefetch_table(const std::vector<BenchRow>& rows, const std::vector<Scheme>& schemes,
+                    const CellConfigFn& cell_config);
+
+/// One cell's standard metrics as a JSON object (the same numbers the
+/// benchmark counters carry, plus the determinism hash). `normal` adds the
+/// derived overhead fields when present.
+[[nodiscard]] obs::json::Value result_to_json(const ExperimentResult& result,
+                                              const ExperimentResult* normal);
+
+/// Assemble the standard per-table document: one entry per row with the
+/// baseline plus every scheme cell found in the cache.
+[[nodiscard]] obs::json::Value table_json(const std::string& table,
+                                          const std::vector<BenchRow>& rows,
+                                          const std::vector<Scheme>& schemes);
+
+/// Write `doc` to `path` and report the path on stdout.
+void write_bench_json(const std::string& path, const obs::json::Value& doc);
 
 /// The scheme columns of Table 1 (paper order).
 [[nodiscard]] const std::vector<Scheme>& table1_schemes();

@@ -1,0 +1,171 @@
+// Paper-style overhead breakdown: where does each scheme's failure-free
+// overhead go?
+//
+// Runs the SOR benchmark under every checkpointing scheme with the obs
+// tracer attached and prints the per-scheme attribution table (sync wait,
+// memory copy, stable write, storage contention, logging, frozen stalls,
+// CPU interference). The paper's central finding shows up directly: the
+// stable-storage write dominates and the synchronization share is small.
+//
+//   ./overhead_breakdown [--n=256] [--iters=60] [--nodes=8] [--checkpoints=3]
+//                        [--interval-s=<auto>] [--seed=2026]
+//                        [--trace-out=<file>] [--metrics-out=<file>]
+//                        [--trace-scheme=Coord_NBM] [--json-out=<file>]
+//
+// --trace-out writes the selected scheme's run as Chrome/Perfetto trace
+// JSON (load with ui.perfetto.dev); --metrics-out writes its metrics
+// snapshot + attribution; --json-out (default BENCH_overhead_breakdown.json)
+// collects every scheme's breakdown machine-readably.
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "apps/sor.hpp"
+#include "harness/experiment.hpp"
+#include "obs/export.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace chk;
+
+const std::vector<harness::Scheme>& all_schemes() {
+  static const std::vector<harness::Scheme> schemes{
+      harness::Scheme::kCoordNB,  harness::Scheme::kCoordNBS,
+      harness::Scheme::kCoordNBM, harness::Scheme::kCoordNBMS,
+      harness::Scheme::kIndep,    harness::Scheme::kIndepM,
+      harness::Scheme::kIndepMS};
+  return schemes;
+}
+
+obs::json::Value scheme_json(const harness::ExperimentResult& result,
+                             const harness::ExperimentResult& normal) {
+  using obs::json::Value;
+  Value entry = Value::object();
+  entry.set("scheme", Value::string(std::string(to_string(result.scheme))));
+  entry.set("exec_time_s", Value::number(result.exec_time_s));
+  entry.set("overhead_s", Value::number(result.exec_time_s - normal.exec_time_s));
+  entry.set("trace_hash", Value::string(util::format("{:016x}", result.trace_hash)));
+  entry.set("trace_events", Value::number(std::uint64_t{result.obs->trace.events.size()}));
+  entry.set("attribution", obs::attribution_to_json(result.obs->attribution));
+  return entry;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+
+  harness::ExperimentConfig base;
+  base.label = "SOR";
+  base.app = apps::make_sor({
+      .n = static_cast<std::size_t>(cli.get_int("n", 256)),
+      .iterations = static_cast<std::uint32_t>(cli.get_int("iters", 60)),
+  });
+  base.machine.num_nodes = static_cast<std::size_t>(cli.get_int("nodes", 8));
+  base.checkpoints = static_cast<std::uint32_t>(cli.get_int("checkpoints", 3));
+  base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+  base.observe = true;
+
+  std::printf("Baseline run (no checkpointing, %zu nodes)...\n", base.machine.num_nodes);
+  const auto normal = harness::run_normal(base);
+  base.interval = des::Duration::seconds(
+      cli.has("interval-s") ? cli.get_double("interval-s", 30.0)
+                            : normal.exec_time_s / (base.checkpoints + 1.0));
+
+  // Every scheme's run is independent: fan out, then report in fixed order.
+  const auto& schemes = all_schemes();
+  std::vector<std::future<harness::ExperimentResult>> pending;
+  pending.reserve(schemes.size());
+  for (harness::Scheme scheme : schemes) {
+    harness::ExperimentConfig config = base;
+    config.scheme = scheme;
+    pending.push_back(std::async(std::launch::async, [config] {
+      return harness::run_experiment(config);
+    }));
+  }
+  std::vector<harness::ExperimentResult> results;
+  results.reserve(schemes.size());
+  for (auto& future : pending) results.push_back(future.get());
+
+  // Buckets are summed over ranks (rank-seconds); the comparable total is
+  // the wall-clock overhead every rank experiences, overhead x num_ranks.
+  // The difference is critical-path idle not chargeable to any one rank
+  // (e.g. waiting on a neighbour that is checkpointing).
+  util::Table table({"scheme", "overhead (s)", "rank-s", "sync wait", "mem copy",
+                     "stable write", "contention", "logging", "frozen", "interference",
+                     "attributed", "unattributed"});
+  const double ranks = static_cast<double>(base.machine.num_nodes);
+  for (const auto& result : results) {
+    const obs::RankBuckets& total = result.obs->attribution.total;
+    const double overhead = result.exec_time_s - normal.exec_time_s;
+    table.add_row({std::string(to_string(result.scheme)), util::Table::fixed(overhead, 3),
+                   util::Table::fixed(overhead * ranks, 3),
+                   util::Table::fixed(total.sync_wait_s, 3),
+                   util::Table::fixed(total.mem_copy_s, 3),
+                   util::Table::fixed(total.stable_write_s, 3),
+                   util::Table::fixed(total.storage_contention_s, 3),
+                   util::Table::fixed(total.logging_s, 3),
+                   util::Table::fixed(total.frozen_stall_s, 3),
+                   util::Table::fixed(total.interference_s, 3),
+                   util::Table::fixed(total.bucket_sum_s(), 3),
+                   util::Table::fixed(overhead * ranks - total.bucket_sum_s(), 3)});
+  }
+  std::fputs(table.render(util::format(
+                              "Overhead breakdown by scheme — SOR, {} checkpoints, "
+                              "{} nodes (buckets summed over ranks; unattributed = "
+                              "overhead x ranks - attributed, the critical-path "
+                              "idle not chargeable to one rank)",
+                              base.checkpoints, base.machine.num_nodes))
+                 .c_str(),
+             stdout);
+
+  // Detailed exports for one selected scheme.
+  const std::string trace_scheme = cli.get("trace-scheme", "Coord_NBM");
+  const harness::ExperimentResult* selected = nullptr;
+  for (const auto& result : results) {
+    if (to_string(result.scheme) == trace_scheme) selected = &result;
+  }
+  if (selected == nullptr) {
+    std::fprintf(stderr, "ERROR: --trace-scheme=%s is not a checkpointing scheme\n",
+                 trace_scheme.c_str());
+    return 1;
+  }
+  if (cli.has("trace-out")) {
+    const std::string path = cli.get("trace-out", "trace.json");
+    obs::write_text_file(
+        path, obs::to_chrome_trace(selected->obs->trace, base.machine.num_nodes).dump());
+    std::printf("\nWrote %s (%s, %zu events; open with ui.perfetto.dev)\n", path.c_str(),
+                trace_scheme.c_str(), selected->obs->trace.events.size());
+  }
+  if (cli.has("metrics-out")) {
+    using obs::json::Value;
+    Value doc = Value::object();
+    doc.set("scheme", Value::string(trace_scheme));
+    doc.set("metrics", obs::metrics_to_json(selected->obs->metrics));
+    doc.set("attribution", obs::attribution_to_json(selected->obs->attribution));
+    const std::string path = cli.get("metrics-out", "metrics.json");
+    obs::write_text_file(path, doc.dump() + "\n");
+    std::printf("Wrote %s\n", path.c_str());
+  }
+
+  // Machine-readable summary of the whole table.
+  {
+    using obs::json::Value;
+    Value doc = Value::object();
+    doc.set("table", Value::string("overhead_breakdown"));
+    doc.set("app", Value::string(base.label));
+    doc.set("nodes", Value::number(std::uint64_t{base.machine.num_nodes}));
+    doc.set("checkpoints", Value::number(std::uint64_t{base.checkpoints}));
+    doc.set("normal_exec_s", Value::number(normal.exec_time_s));
+    Value entries = Value::array();
+    for (const auto& result : results) entries.push_back(scheme_json(result, normal));
+    doc.set("schemes", std::move(entries));
+    const std::string path = cli.get("json-out", "BENCH_overhead_breakdown.json");
+    obs::write_text_file(path, doc.dump() + "\n");
+    std::printf("Wrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -4,10 +4,17 @@
 //
 //   ./quickstart [--scheme=Coord_NBMS] [--n=512] [--iters=100]
 //                [--interval-s=30] [--checkpoints=3] [--nodes=8] [--verify]
+//                [--trace-out=<file>] [--metrics-out=<file>]
+//
+// --trace-out attaches the obs tracer and writes the run as Chrome/Perfetto
+// trace JSON (load with ui.perfetto.dev); --metrics-out writes the metrics
+// snapshot and the per-rank overhead attribution. Observation never changes
+// the simulation: the trace hash is identical with these flags on or off.
 #include <cstdio>
 
 #include "apps/sor.hpp"
 #include "harness/experiment.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +32,7 @@ int main(int argc, char** argv) {
   config.checkpoints = static_cast<std::uint32_t>(cli.get_int("checkpoints", 3));
   config.machine.num_nodes = static_cast<std::size_t>(cli.get_int("nodes", 8));
   config.verify = util::verify_requested(cli);
+  config.observe = cli.has("trace-out") || cli.has("metrics-out");
 
   std::printf("Running %s on %zu simulated T805 nodes...\n", config.label.c_str(),
               config.machine.num_nodes);
@@ -54,6 +62,17 @@ int main(int argc, char** argv) {
   table.add_row({"peak stable storage", util::Table::bytes(
                                             static_cast<double>(result.peak_storage_bytes))});
   table.add_row({"disk queueing time", util::Table::seconds(result.disk_wait_s)});
+  if (result.obs) {
+    const obs::RankBuckets& attributed = result.obs->attribution.total;
+    table.add_row({"  sync wait", util::Table::seconds(attributed.sync_wait_s)});
+    table.add_row({"  memory copy", util::Table::seconds(attributed.mem_copy_s)});
+    table.add_row({"  stable write", util::Table::seconds(attributed.stable_write_s)});
+    table.add_row({"  storage contention",
+                   util::Table::seconds(attributed.storage_contention_s)});
+    table.add_row({"  logging", util::Table::seconds(attributed.logging_s)});
+    table.add_row({"  frozen stalls", util::Table::seconds(attributed.frozen_stall_s)});
+    table.add_row({"  CPU interference", util::Table::seconds(attributed.interference_s)});
+  }
   table.add_row({"result digest", util::Table::fixed(result.digest.value_or(0.0), 0)});
   if (config.verify) {
     table.add_row({"invariant checks", util::Table::integer(
@@ -62,6 +81,27 @@ int main(int argc, char** argv) {
                    util::Table::integer(static_cast<long long>(result.invariant_violations))});
   }
   std::fputs(table.render("CHK-LIB quickstart").c_str(), stdout);
+
+  if (result.obs) {
+    if (cli.has("trace-out")) {
+      const std::string path = cli.get("trace-out", "trace.json");
+      obs::write_text_file(
+          path,
+          obs::to_chrome_trace(result.obs->trace, config.machine.num_nodes).dump());
+      std::printf("Wrote %s (%zu events; open with ui.perfetto.dev)\n", path.c_str(),
+                  result.obs->trace.events.size());
+    }
+    if (cli.has("metrics-out")) {
+      using obs::json::Value;
+      Value doc = Value::object();
+      doc.set("scheme", Value::string(std::string(to_string(config.scheme))));
+      doc.set("metrics", obs::metrics_to_json(result.obs->metrics));
+      doc.set("attribution", obs::attribution_to_json(result.obs->attribution));
+      const std::string path = cli.get("metrics-out", "metrics.json");
+      obs::write_text_file(path, doc.dump() + "\n");
+      std::printf("Wrote %s\n", path.c_str());
+    }
+  }
 
   if (result.digest != normal.digest) {
     std::fputs("ERROR: checkpointing changed the application result!\n", stderr);

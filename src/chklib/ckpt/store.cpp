@@ -23,16 +23,36 @@ void CheckpointStore::write_image(Rank rank, const CheckpointImage& image,
                   });
 }
 
+void CheckpointStore::trace_write(des::Process& self, obs::EventKind kind, Rank rank,
+                                  std::int64_t t0_ns, std::size_t bytes,
+                                  std::uint32_t arg) const {
+  if (tracer_ == nullptr) return;
+  const auto pure = storage_->pure_write_time(rank, bytes);
+  tracer_->span(kind, static_cast<std::uint16_t>(rank), t0_ns, self.sim().now().to_nanos(),
+                static_cast<std::uint64_t>(pure.to_nanos()), arg);
+}
+
 void CheckpointStore::write_image_blocking(des::Process& self, Rank rank,
-                                           const CheckpointImage& image) {
+                                           const CheckpointImage& image,
+                                           WriteContext context) {
   if (observer_ != nullptr) observer_->on_image_write_begin(rank, image.index);
-  storage_->write_blocking(self, rank, image_key(rank, image.index), image.serialize());
+  auto blob = image.serialize();
+  const std::size_t bytes = blob.size();
+  const std::int64_t t0 = self.sim().now().to_nanos();
+  storage_->write_blocking(self, rank, image_key(rank, image.index), std::move(blob));
+  trace_write(self, obs::EventKind::kStableWrite, rank, t0, bytes,
+              static_cast<std::uint32_t>(context));
   if (observer_ != nullptr) observer_->on_image_write_end(rank, image.index);
 }
 
 void CheckpointStore::write_log_blocking(des::Process& self, Rank rank, std::uint32_t index,
-                                         const ChannelLog& log) {
-  storage_->write_blocking(self, rank, log_key(rank, index), log.serialize());
+                                         const ChannelLog& log, WriteContext context) {
+  auto blob = log.serialize();
+  const std::size_t bytes = blob.size();
+  const std::int64_t t0 = self.sim().now().to_nanos();
+  storage_->write_blocking(self, rank, log_key(rank, index), std::move(blob));
+  trace_write(self, obs::EventKind::kLogWrite, rank, t0, bytes,
+              static_cast<std::uint32_t>(context));
 }
 
 void CheckpointStore::write_commit_blocking(des::Process& self, Rank coordinator_node,
@@ -40,13 +60,22 @@ void CheckpointStore::write_commit_blocking(des::Process& self, Rank coordinator
   util::ByteWriter writer;
   writer.put(epoch);
   writer.put<std::uint32_t>(~epoch);  // trivial integrity check
-  storage_->write_blocking(self, coordinator_node, "ckpt/commit", writer.take());
+  auto blob = writer.take();
+  const std::size_t bytes = blob.size();
+  const std::int64_t t0 = self.sim().now().to_nanos();
+  storage_->write_blocking(self, coordinator_node, "ckpt/commit", std::move(blob));
+  trace_write(self, obs::EventKind::kCommitWrite, coordinator_node, t0, bytes, epoch);
   committed_epoch_ = epoch;
 }
 
 CheckpointImage CheckpointStore::load_image_blocking(des::Process& self, Rank reader,
                                                      std::uint32_t index) {
+  const std::int64_t t0 = self.sim().now().to_nanos();
   const auto blob = storage_->read_blocking(self, reader, image_key(reader, index));
+  if (tracer_ != nullptr) {
+    tracer_->span(obs::EventKind::kRecoveryRead, static_cast<std::uint16_t>(reader), t0,
+                  self.sim().now().to_nanos(), blob.size());
+  }
   return CheckpointImage::deserialize(blob);
 }
 

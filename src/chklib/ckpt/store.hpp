@@ -19,9 +19,16 @@
 #include "chklib/ckpt/image.hpp"
 #include "chklib/comm/observer.hpp"
 #include "des/process.hpp"
+#include "obs/tracer.hpp"
 #include "xplorer/storage.hpp"
 
 namespace chk::chklib {
+
+/// Who is paying for a stable-storage write. The overhead attribution only
+/// charges kAppBlocking writes to the checkpoint blocking window; writes
+/// streamed by a background checkpointer carry kBackground even if they
+/// happen to overlap a later window.
+enum class WriteContext : std::uint32_t { kBackground = 0, kAppBlocking = 1 };
 
 class CheckpointStore {
  public:
@@ -39,10 +46,12 @@ class CheckpointStore {
   /// Timed write of a serialized image from `rank`'s node; on_durable runs
   /// when the bytes are on disk.
   void write_image(Rank rank, const CheckpointImage& image, std::function<void()> on_durable);
-  void write_image_blocking(des::Process& self, Rank rank, const CheckpointImage& image);
+  void write_image_blocking(des::Process& self, Rank rank, const CheckpointImage& image,
+                            WriteContext context = WriteContext::kBackground);
 
   void write_log_blocking(des::Process& self, Rank rank, std::uint32_t index,
-                          const ChannelLog& log);
+                          const ChannelLog& log,
+                          WriteContext context = WriteContext::kBackground);
 
   /// Timed write of the global commit record (coordinator's node).
   void write_commit_blocking(des::Process& self, Rank coordinator_node, std::uint32_t epoch);
@@ -67,9 +76,16 @@ class CheckpointStore {
 
   [[nodiscard]] xplorer::StableStorage& storage() noexcept { return *storage_; }
 
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
+  /// Emit a storage span [t0, now] with aux = the uncontended write time.
+  void trace_write(des::Process& self, obs::EventKind kind, Rank rank, std::int64_t t0_ns,
+                   std::size_t bytes, std::uint32_t arg) const;
+
   xplorer::StableStorage* storage_;
   InvariantObserver* observer_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::uint32_t committed_epoch_ = 0;  ///< epoch 0 = initial state, implicit
 };
 

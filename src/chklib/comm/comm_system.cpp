@@ -38,6 +38,10 @@ void CommSystem::transmit(des::Process& self, Envelope env) {
 
 void CommSystem::send_control(Rank src, Rank dst, ControlMsg msg) {
   msg.incarnation = incarnation_;
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::EventKind::kControlSend, static_cast<std::uint16_t>(src),
+                     machine_->sim().now().to_nanos(), 0, static_cast<std::uint32_t>(dst));
+  }
   ++control_messages_;
   control_bytes_ += kControlWireBytes;
   machine_->network().transfer(src, dst, kControlWireBytes, xplorer::Traffic::kControl,

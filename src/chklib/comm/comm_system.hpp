@@ -51,6 +51,12 @@ class CommSystem {
   /// Drop all queued messages at every endpoint.
   void flush_all();
 
+  /// Attach an event tracer to the control plane and all endpoints.
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    for (auto& ep : endpoints_) ep->set_tracer(tracer);
+  }
+
   // -- statistics -------------------------------------------------------------
   [[nodiscard]] std::uint64_t app_messages() const noexcept { return app_messages_; }
   [[nodiscard]] std::uint64_t app_bytes() const noexcept { return app_bytes_; }
@@ -63,6 +69,7 @@ class CommSystem {
   xplorer::Machine* machine_;
   ProtocolHooks* hooks_ = nullptr;
   InvariantObserver* observer_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::uint32_t incarnation_ = 0;
   std::uint64_t app_messages_ = 0;

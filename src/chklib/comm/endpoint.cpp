@@ -13,6 +13,10 @@ Endpoint::Endpoint(CommSystem& system, Rank rank, xplorer::Node& node, des::Simu
 
 void Endpoint::send(des::Process& self, Rank dst, int tag, std::vector<std::byte> payload) {
   gate_.enter(self);
+  if (tracer_) {
+    tracer_->instant(obs::EventKind::kMsgSend, static_cast<std::uint16_t>(rank_),
+                     sim_->now().to_nanos(), payload.size(), static_cast<std::uint32_t>(dst));
+  }
   Envelope env;
   env.src = rank_;
   env.dst = dst;
@@ -42,8 +46,13 @@ const Envelope* Endpoint::peek_match(int src, int tag) const {
 
 Envelope Endpoint::recv(des::Process& self, int src, int tag) {
   gate_.enter(self);
+  std::int64_t wait_start_ns = -1;  // first suspension instant, if any
   for (;;) {
     if (const Envelope* peeked = peek_match(src, tag)) {
+      if (tracer_ && wait_start_ns >= 0) {
+        tracer_->span(obs::EventKind::kRecvWait, static_cast<std::uint16_t>(rank_),
+                      wait_start_ns, sim_->now().to_nanos());
+      }
       // Charge the receive-side CPU cost while the message is still in the
       // pending queue: a checkpoint captured during this window must see
       // the message as channel state (it has not reached the application).
@@ -59,6 +68,7 @@ Envelope Endpoint::recv(des::Process& self, int src, int tag) {
       ++messages_received_;
       return std::move(*env);
     }
+    if (wait_start_ns < 0) wait_start_ns = sim_->now().to_nanos();
     recv_waiters_.push_back(&self);
     self.suspend([this, &self] { std::erase(recv_waiters_, &self); });
   }

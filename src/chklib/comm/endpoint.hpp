@@ -108,6 +108,11 @@ class Endpoint {
   [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept { return duplicates_dropped_; }
   [[nodiscard]] std::size_t pending_count() const noexcept { return pending_.size(); }
 
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    gate_.set_tracer(tracer, static_cast<std::uint16_t>(rank_));
+  }
+
   // Reserved (negative) tags used by the collectives; applications must
   // use non-negative tags.
   static constexpr int kTagBarrierUp = -2;
@@ -129,6 +134,7 @@ class Endpoint {
   Rank rank_;
   xplorer::Node* node_;
   des::Simulator* sim_;
+  obs::Tracer* tracer_ = nullptr;
   FreezeGate gate_;
   std::deque<Envelope> pending_;
   std::deque<des::Process*> recv_waiters_;

@@ -13,6 +13,7 @@
 #include "des/process.hpp"
 #include "des/simulator.hpp"
 #include "des/time.hpp"
+#include "obs/tracer.hpp"
 
 namespace chk::chklib {
 
@@ -32,6 +33,10 @@ class FreezeGate {
       waiting_.push_back(&self);
       self.suspend([this, &self] { std::erase(waiting_, &self); });
       blocked_time_ += sim_->now() - parked_at;
+      if (tracer_) {
+        tracer_->span(obs::EventKind::kFrozenStall, rank_, parked_at.to_nanos(),
+                      sim_->now().to_nanos());
+      }
     }
   }
 
@@ -62,8 +67,15 @@ class FreezeGate {
   [[nodiscard]] des::Duration blocked_time() const noexcept { return blocked_time_; }
   void reset_stats() noexcept { blocked_time_ = des::Duration::zero(); }
 
+  void set_tracer(obs::Tracer* tracer, std::uint16_t rank) noexcept {
+    tracer_ = tracer;
+    rank_ = rank;
+  }
+
  private:
   des::Simulator* sim_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint16_t rank_ = obs::kMetaRank;
   bool frozen_ = false;
   int freeze_depth_ = 0;
   std::deque<des::Process*> waiting_;

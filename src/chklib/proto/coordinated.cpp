@@ -52,6 +52,10 @@ void CoordinatedProtocol::begin_round(std::uint32_t epoch) {
   round_epoch_ = epoch;
   acks_ = 0;
   CHK_DEBUG("coord", "round {} begins at {}", epoch, rt_->sim().now().str());
+  if (auto* tracer = rt_->tracer()) {
+    tracer->instant(obs::EventKind::kRoundBegin, static_cast<std::uint16_t>(cfg_.coordinator),
+                    rt_->sim().now().to_nanos(), 0, epoch);
+  }
   for (Rank r = 0; r < rt_->num_ranks(); ++r) {
     rt_->comm().send_control(cfg_.coordinator, r,
                              ControlMsg{ControlKind::kCkptRequest, cfg_.coordinator, epoch, 0});
@@ -112,6 +116,10 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
       try_finish(r, self);
       break;
     case ControlKind::kToken:
+      if (auto* tracer = rt_->tracer()) {
+        tracer->instant(obs::EventKind::kTokenPass, static_cast<std::uint16_t>(r),
+                        rt_->sim().now().to_nanos(), 0, msg.epoch);
+      }
       agent.token.release();
       break;
     case ControlKind::kCkptAck: {
@@ -123,6 +131,10 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
         rt_->store().write_commit_blocking(self, cfg_.coordinator, round_epoch_);
         ++stats_.committed_rounds;
         CHK_DEBUG("coord", "epoch {} committed at {}", round_epoch_, rt_->sim().now().str());
+        if (auto* tracer = rt_->tracer()) {
+          tracer->instant(obs::EventKind::kCommit, static_cast<std::uint16_t>(cfg_.coordinator),
+                          rt_->sim().now().to_nanos(), 0, round_epoch_);
+        }
         for (Rank q = 0; q < rt_->num_ranks(); ++q) {
           rt_->comm().send_control(cfg_.coordinator, q,
                                    ControlMsg{ControlKind::kCommit, cfg_.coordinator,
@@ -233,14 +245,18 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
                                ControlMsg{ControlKind::kTokenRequest, r, epoch, 0});
       agent.token.acquire(carrier);
     }
-    rt_->store().write_image_blocking(carrier, r, image);
+    rt_->store().write_image_blocking(carrier, r, image, WriteContext::kAppBlocking);
     if (is_staggered(cfg_.scheme)) {
       rt_->comm().send_control(r, cfg_.coordinator,
                                ControlMsg{ControlKind::kTokenRelease, r, epoch, 0});
     }
     agent.durable = true;
-    try_finish(r, carrier);
+    try_finish(r, carrier, WriteContext::kAppBlocking);
     stats_.app_blocked += rt_->sim().now() - block_start;
+    if (auto* tracer = rt_->tracer()) {
+      tracer->span(obs::EventKind::kCkptWindow, static_cast<std::uint16_t>(r),
+                   block_start.to_nanos(), rt_->sim().now().to_nanos(), 0, epoch);
+    }
     return;
   }
 
@@ -248,6 +264,10 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
   // the image to a checkpointer thread that streams it out.
   rt_->machine().node(r).mem_copy(carrier, image.state.size());
   stats_.app_blocked += rt_->sim().now() - block_start;
+  if (auto* tracer = rt_->tracer()) {
+    tracer->span(obs::EventKind::kCkptWindow, static_cast<std::uint16_t>(r),
+                 block_start.to_nanos(), rt_->sim().now().to_nanos(), 0, epoch);
+  }
   track(rt_->sim().spawn(
       util::format("ckwr-r{}-e{}", r, epoch),
       [this, r, image = std::move(image)](des::Process& self) mutable {
@@ -266,7 +286,7 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
       }));
 }
 
-void CoordinatedProtocol::try_finish(Rank r, des::Process& proc) {
+void CoordinatedProtocol::try_finish(Rank r, des::Process& proc, WriteContext log_ctx) {
   Agent& agent = *agents_[r];
   if (!agent.logging || agent.finishing || !agent.durable) return;
   const std::size_t needed = rt_->num_ranks() - 1;
@@ -278,7 +298,7 @@ void CoordinatedProtocol::try_finish(Rank r, des::Process& proc) {
   agent.finishing = true;
   agent.logging = false;
   if (!agent.log.messages.empty()) {
-    rt_->store().write_log_blocking(proc, r, agent.epoch, agent.log);
+    rt_->store().write_log_blocking(proc, r, agent.epoch, agent.log, log_ctx);
   }
   rt_->comm().send_control(r, cfg_.coordinator,
                            ControlMsg{ControlKind::kCkptAck, r, agent.epoch, 0});

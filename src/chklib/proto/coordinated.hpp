@@ -114,7 +114,11 @@ class CoordinatedProtocol final : public Protocol {
   void handle_control(Rank r, des::Process& self, const ControlMsg& msg);
   void safe_point(Rank r, des::Process& self);
   void do_local_checkpoint(des::Process& carrier, Rank r, std::uint32_t epoch);
-  void try_finish(Rank r, des::Process& proc);
+  /// `log_ctx` says who pays for the channel-log write if this call
+  /// completes the checkpoint: kAppBlocking only when the application
+  /// process carries it inside its blocking window.
+  void try_finish(Rank r, des::Process& proc,
+                  WriteContext log_ctx = WriteContext::kBackground);
   void handle_commit(Rank r, std::uint32_t epoch);
 
   Config cfg_;

@@ -89,6 +89,10 @@ void IndependentProtocol::dispatcher_main(Rank r, des::Process& self) {
     const ControlMsg msg = rt_->comm().endpoint(r).recv_control(self);
     switch (msg.kind) {
       case ControlKind::kToken:
+        if (auto* tracer = rt_->tracer()) {
+          tracer->instant(obs::EventKind::kTokenPass, static_cast<std::uint16_t>(r),
+                          rt_->sim().now().to_nanos(), 0, msg.epoch);
+        }
         agents_[r]->token.release();
         break;
       case ControlKind::kTokenRequest:
@@ -151,14 +155,22 @@ void IndependentProtocol::do_local_checkpoint(des::Process& carrier, Rank r) {
 
   if (!is_buffered(cfg_.scheme)) {
     // The application carries its own (blocking) stable-storage write.
-    rt_->store().write_image_blocking(carrier, r, image);
+    rt_->store().write_image_blocking(carrier, r, image, WriteContext::kAppBlocking);
     stats_.app_blocked += rt_->sim().now() - block_start;
+    if (auto* tracer = rt_->tracer()) {
+      tracer->span(obs::EventKind::kCkptWindow, static_cast<std::uint16_t>(r),
+                   block_start.to_nanos(), rt_->sim().now().to_nanos(), 0, index);
+    }
     on_durable(r);
     return;
   }
 
   rt_->machine().node(r).mem_copy(carrier, image.state.size());
   stats_.app_blocked += rt_->sim().now() - block_start;
+  if (auto* tracer = rt_->tracer()) {
+    tracer->span(obs::EventKind::kCkptWindow, static_cast<std::uint16_t>(r),
+                 block_start.to_nanos(), rt_->sim().now().to_nanos(), 0, index);
+  }
   track(rt_->sim().spawn(
       util::format("ickwr-r{}-v{}", r, index),
       [this, r, image = std::move(image)](des::Process& self) mutable {

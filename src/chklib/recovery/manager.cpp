@@ -20,6 +20,10 @@ void RecoveryManager::inject_failure_at(des::TimePoint when, Rank rank) {
 void RecoveryManager::on_failure(Rank failed) {
   des::Simulator& sim = rt_->sim();
   CHK_INFO("recovery", "node {} failed at {}", failed, sim.now().str());
+  if (auto* tracer = rt_->tracer()) {
+    tracer->instant(obs::EventKind::kFailure, static_cast<std::uint16_t>(failed),
+                    sim.now().to_nanos());
+  }
 
   RecoveryReport report;
   report.failed_at = sim.now();
@@ -144,13 +148,21 @@ void RecoveryManager::on_failure(Rank failed) {
             shared_report->channel_messages_replayed += by_dst[q].size();
             rt_->comm().endpoint(q).reinject(std::move(by_dst[q]));
           }
-          shared_report->logged_sends.clear();
         }
+        // The replay scratch must not leak into the published report —
+        // "empty in finished reports" is part of its contract (and the
+        // moved-from envelopes above would be garbage anyway).
+        shared_report->logged_sends.clear();
         // 4b. Everything restored: restart the protocol and the application.
         shared_report->recovery_latency = rt_->sim().now() - shared_report->failed_at;
         protocol_->resume_after_recovery();
         rt_->restart_apps();
         reports_.push_back(*shared_report);
+        if (auto* tracer = rt_->tracer()) {
+          tracer->instant(obs::EventKind::kRecoveryDone,
+                          static_cast<std::uint16_t>(shared_report->failed_rank),
+                          rt_->sim().now().to_nanos());
+        }
         CHK_INFO("recovery", "restart complete at {} (latency {})", rt_->sim().now().str(),
                  shared_report->recovery_latency.str());
       }

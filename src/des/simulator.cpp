@@ -74,6 +74,9 @@ Process& Simulator::spawn_at(TimePoint start, std::string name, ProcessFn body) 
       new Process(*this, processes_.size(), std::move(name), std::move(body)));
   Process& ref = *proc;
   processes_.push_back(std::move(proc));
+  if (tracer_) {
+    tracer_->instant(obs::EventKind::kProcSpawn, obs::kMetaRank, start.to_nanos(), ref.id());
+  }
   schedule_at(start, [this, &ref] {
     if (ref.state_ == Process::State::kCreated) {
       ref.state_ = Process::State::kReady;
@@ -121,6 +124,9 @@ void Simulator::switch_to(Process& process) {
 void Simulator::on_process_exit(Process& process) noexcept {
   process.state_ = Process::State::kFinished;
   process.cancel_ = nullptr;
+  if (tracer_) {
+    tracer_->instant(obs::EventKind::kProcExit, obs::kMetaRank, now_.to_nanos(), process.id());
+  }
 }
 
 std::size_t Simulator::live_processes() const noexcept {

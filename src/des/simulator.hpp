@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "des/time.hpp"
+#include "obs/tracer.hpp"
 
 namespace chk::des {
 
@@ -148,6 +149,13 @@ class Simulator {
     return processes_;
   }
 
+  /// Attach (or detach, with nullptr) an event tracer. Emission is
+  /// observation only: it never schedules events or advances time, so the
+  /// simulated schedule — and trace_hash() — is identical with or without
+  /// a tracer attached.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   friend class Process;
 
@@ -175,6 +183,7 @@ class Simulator {
   bool running_ = false;
   bool stop_requested_ = false;
   Process* current_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::binary_semaphore kernel_baton_{0};  // process -> kernel

@@ -9,9 +9,55 @@
 
 namespace chk::harness {
 
+namespace {
+
+/// Publish the run's results and the overhead attribution into a typed
+/// registry: everything the JSON exports and the CI schema check consume.
+obs::MetricsSnapshot build_metrics(const ExperimentResult& result, const ObsData& data) {
+  obs::Registry reg;
+  reg.counter("run/events").set(result.events);
+  reg.counter("run/trace_events").set(data.trace.events.size());
+  reg.counter("comm/app_messages").set(result.app_messages);
+  reg.counter("comm/app_bytes").set(result.app_bytes);
+  reg.counter("comm/control_messages").set(result.control_messages);
+  reg.counter("comm/control_bytes").set(result.control_bytes);
+  reg.counter("ckpt/local_checkpoints").set(result.local_checkpoints);
+  reg.counter("ckpt/committed_rounds").set(result.committed_rounds);
+  reg.counter("ckpt/bytes_written").set(result.bytes_written);
+
+  reg.gauge("run/exec_time_s").set(result.exec_time_s);
+  reg.gauge("overhead/app_blocked_s").set(result.app_blocked_s);
+  reg.gauge("overhead/interference_s").set(result.interference_s);
+  reg.gauge("overhead/frozen_stall_s").set(result.frozen_stall_s);
+  reg.gauge("storage/disk_busy_s").set(result.disk_busy_s);
+  reg.gauge("storage/disk_wait_s").set(result.disk_wait_s);
+
+  const obs::RankBuckets& total = data.attribution.total;
+  reg.gauge("attrib/sync_wait_s").set(total.sync_wait_s);
+  reg.gauge("attrib/mem_copy_s").set(total.mem_copy_s);
+  reg.gauge("attrib/stable_write_s").set(total.stable_write_s);
+  reg.gauge("attrib/storage_contention_s").set(total.storage_contention_s);
+  reg.gauge("attrib/logging_s").set(total.logging_s);
+  reg.gauge("attrib/frozen_stall_s").set(total.frozen_stall_s);
+  reg.gauge("attrib/interference_s").set(total.interference_s);
+  reg.gauge("attrib/total_s").set(total.total_s());
+
+  auto& windows = reg.histogram("ckpt/window_s", {0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0});
+  for (const obs::Event& e : data.trace.events) {
+    if (e.kind == obs::EventKind::kCkptWindow) {
+      windows.observe(static_cast<double>(e.dur_ns) * 1e-9);
+    }
+  }
+  return reg.snapshot();
+}
+
+}  // namespace
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  obs::Tracer tracer;  // outlives the runtime (teardown may still emit)
   des::Simulator sim;
   chklib::Runtime runtime(sim, config.machine, config.seed);
+  if (config.observe) runtime.set_tracer(&tracer);
   runtime.set_app(config.label, config.app);
 
   std::unique_ptr<chklib::Protocol> protocol;
@@ -73,6 +119,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   auto& machine = runtime.machine();
   for (Rank r = 0; r < runtime.num_ranks(); ++r) {
     result.interference_s += machine.node(r).interference_time().to_seconds();
+    result.frozen_stall_s += runtime.comm().endpoint(r).gate().blocked_time().to_seconds();
   }
   if (protocol) result.app_blocked_s = protocol->stats().app_blocked.to_seconds();
   result.disk_busy_s = machine.storage().disk().busy_time().to_seconds();
@@ -99,6 +146,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   result.digest = runtime.result_digest();
   if (recovery) result.recoveries = recovery->reports();
+
+  if (config.observe) {
+    ObsData data;
+    data.trace = tracer.take();
+    data.attribution = obs::attribute(data.trace, runtime.num_ranks());
+    data.metrics = build_metrics(result, data);
+    result.obs = std::move(data);
+  }
   (void)run;
   return result;
 }

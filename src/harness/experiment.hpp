@@ -11,6 +11,9 @@
 #include "chklib/recovery/line.hpp"
 #include "chklib/recovery/manager.hpp"
 #include "chklib/runtime.hpp"
+#include "obs/attribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "xplorer/config.hpp"
 
 namespace chk::harness {
@@ -60,6 +63,18 @@ struct ExperimentConfig {
 #else
   bool verify = false;
 #endif
+  /// Attach the obs tracer for this run and return the event stream,
+  /// metrics snapshot and per-rank overhead attribution in the result.
+  /// Observation never perturbs the simulation: trace_hash and exec_time_s
+  /// are identical with this on or off.
+  bool observe = false;
+};
+
+/// Observability payload of one observed run (config.observe).
+struct ObsData {
+  obs::Trace trace;
+  obs::MetricsSnapshot metrics;
+  obs::AttributionReport attribution;
 };
 
 struct ExperimentResult {
@@ -79,6 +94,7 @@ struct ExperimentResult {
   // overhead breakdown
   double app_blocked_s = 0;     ///< time application processes spent frozen/parked
   double interference_s = 0;    ///< CPU stolen by background checkpoint writes
+  double frozen_stall_s = 0;    ///< time parked at freeze gates (blocking ablations)
   double disk_busy_s = 0;
   double disk_wait_s = 0;       ///< queueing delay at the disk (contention)
   double host_link_busy_s = 0;
@@ -102,6 +118,9 @@ struct ExperimentResult {
 
   std::optional<double> digest;
   std::vector<RecoveryReport> recoveries;
+
+  /// Present iff the run was observed (ExperimentConfig::observe).
+  std::optional<ObsData> obs;
 };
 
 /// Run one experiment (one simulated execution).

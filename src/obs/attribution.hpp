@@ -1,0 +1,60 @@
+// Per-rank overhead attribution.
+//
+// Folds a trace into the paper-style overhead breakdown: where did each
+// rank's checkpoint-induced lost time go? The buckets partition the
+// *measurable per-rank overhead* — the checkpoint blocking windows (which
+// the protocols account as app_blocked), the freeze-gate stalls and the
+// CPU interference of background writes:
+//
+//   blocked window  =  sync_wait + mem_copy + stable_write
+//                      + storage_contention + logging        (exact, in ns)
+//   per-rank total  =  blocked windows + frozen_stall + interference
+//
+// stable_write is the write's uncontended service time (mesh pipeline +
+// host link + disk, empty queues); storage_contention is the rest of the
+// observed write duration — queueing behind other nodes' checkpoint
+// traffic, the paper's dominant cost. sync_wait is the window remainder:
+// token/grant waits and protocol synchronization. End-to-end overhead
+// (exec - normal) additionally contains critical-path idle effects that no
+// single rank can be charged for; consumers report that difference as
+// "unattributed".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace chk::obs {
+
+struct RankBuckets {
+  double sync_wait_s = 0;
+  double mem_copy_s = 0;
+  double stable_write_s = 0;
+  double storage_contention_s = 0;
+  double logging_s = 0;
+  double frozen_stall_s = 0;
+  double interference_s = 0;
+  /// Sum of this rank's checkpoint blocking windows (== the protocol's
+  /// app_blocked share; the first five buckets partition it exactly).
+  double blocked_total_s = 0;
+
+  [[nodiscard]] double bucket_sum_s() const noexcept {
+    return sync_wait_s + mem_copy_s + stable_write_s + storage_contention_s +
+           logging_s + frozen_stall_s + interference_s;
+  }
+  [[nodiscard]] double total_s() const noexcept {
+    return blocked_total_s + frozen_stall_s + interference_s;
+  }
+};
+
+struct AttributionReport {
+  std::vector<RankBuckets> ranks;
+  RankBuckets total;  ///< element-wise sum over ranks
+};
+
+/// Fold a trace into per-rank buckets. Events with rank >= num_ranks
+/// (metadata) are ignored.
+[[nodiscard]] AttributionReport attribute(const Trace& trace, std::size_t num_ranks);
+
+}  // namespace chk::obs

@@ -1,0 +1,35 @@
+// Exporters: trace → Chrome/Perfetto trace JSON, metrics and attribution
+// → plain JSON documents. The Chrome trace carries the exact integer
+// payload of every event in its `args`, so parse_chrome_trace() can
+// reconstruct the original record stream losslessly (round-trip tested).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/attribution.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace chk::obs {
+
+/// Chrome trace-event JSON (load with chrome://tracing or ui.perfetto.dev).
+/// Spans become "X" complete events, instants "i" events; one "M" metadata
+/// event names each rank's track. ts/dur are microseconds as the format
+/// requires; args keep the nanosecond originals.
+[[nodiscard]] json::Value to_chrome_trace(const Trace& trace, std::size_t num_ranks);
+
+/// Rebuild a Trace from to_chrome_trace() output. Metadata events are
+/// skipped; the hash is recomputed from the reconstructed records.
+[[nodiscard]] Trace parse_chrome_trace(const json::Value& doc);
+
+[[nodiscard]] json::Value metrics_to_json(const MetricsSnapshot& snap);
+
+[[nodiscard]] json::Value attribution_to_json(const AttributionReport& report);
+
+/// Write `text` to `path` (truncating); throws std::runtime_error on I/O
+/// failure.
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace chk::obs

@@ -1,0 +1,355 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace chk::obs::json {
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double d) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+Value Value::number(std::int64_t i) { return number(static_cast<double>(i)); }
+Value Value::number(std::uint64_t u) { return number(static_cast<double>(u)); }
+
+Value Value::string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool Value::as_bool() const {
+  if (type_ != Type::kBool) throw ParseError("json: not a bool");
+  return bool_;
+}
+
+double Value::as_double() const {
+  if (type_ != Type::kNumber) throw ParseError("json: not a number");
+  return number_;
+}
+
+std::int64_t Value::as_int() const { return static_cast<std::int64_t>(as_double()); }
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::kString) throw ParseError("json: not a string");
+  return string_;
+}
+
+Value& Value::push_back(Value v) {
+  if (type_ != Type::kArray) throw ParseError("json: not an array");
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+Value& Value::set(std::string key, Value v) {
+  if (type_ != Type::kObject) throw ParseError("json: not an object");
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+  return object_.back().second;
+}
+
+bool Value::contains(std::string_view key) const noexcept {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Value& Value::at(std::string_view key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  throw ParseError("json: missing key \"" + std::string(key) + "\"");
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void dump_number(double d, std::string& out) {
+  // Integral values (our ns timestamps, counts, ids) must round-trip
+  // exactly, so print them without an exponent or decimal point.
+  if (std::nearbyint(d) == d && std::abs(d) < 9.2e18) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      dump_number(number_, out);
+      break;
+    case Type::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& v : array_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(k);
+        out += "\":";
+        v.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw ParseError("json parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail("unexpected character");
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) fail("bad literal");
+    pos_ += lit.size();
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value::string(parse_string());
+      case 't': expect_literal("true"); return Value::boolean(true);
+      case 'f': expect_literal("false"); return Value::boolean(false);
+      case 'n': expect_literal("null"); return Value{};
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v = Value::object();
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), parse_value());
+      skip_ws();
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v = Value::array();
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      v.push_back(parse_value());
+      skip_ws();
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      switch (text_[pos_++]) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Basic-plane decode to UTF-8 (our own output only emits \u00xx).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    return Value::number(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace chk::obs::json

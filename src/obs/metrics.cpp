@@ -1,0 +1,46 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace chk::obs {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.empty()) throw std::invalid_argument("Histogram: no bucket edges");
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    if (edges_[i] <= edges_[i - 1]) {
+      throw std::invalid_argument("Histogram: edges must be strictly increasing");
+    }
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) noexcept {
+  std::size_t bucket = edges_.size();  // overflow by default
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (value <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++total_;
+  sum_ += value;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> edges) {
+  if (const auto it = histograms_.find(name); it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(edges))).first->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c.value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g.value());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace(
+        name, HistogramSnapshot{h.edges(), h.counts(), h.total_count(), h.sum()});
+  }
+  return snap;
+}
+
+}  // namespace chk::obs

@@ -1,0 +1,92 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms.
+//
+// A Registry gives one experiment's metrics a typed, enumerable home (the
+// harness publishes its ExperimentResult fields and the per-rank overhead
+// attribution here when observation is on). Names are kept in a sorted map
+// so snapshots and their JSON serialization are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chk::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  void set(std::uint64_t v) noexcept { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double v) noexcept { value_ += v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples with value <= edges[i]
+/// (the first such i); samples above the last edge land in the overflow
+/// bucket. Edges must be strictly increasing.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& edges() const noexcept { return edges_; }
+  /// counts().size() == edges().size() + 1 (last = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total_count = 0;
+  double sum = 0;
+};
+
+/// Typed point-in-time copy of a Registry (safe to keep past its death).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  /// Creates the histogram on first use; `edges` is ignored on later
+  /// lookups of the same name.
+  Histogram& histogram(const std::string& name, std::vector<double> edges);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace chk::obs

@@ -40,6 +40,10 @@ class Machine {
     storage_.reset_stats();
   }
 
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    for (auto& node : nodes_) node->set_tracer(tracer);
+  }
+
  private:
   des::Simulator* sim_;
   MachineConfig config_;

@@ -54,6 +54,35 @@ void Network::forward(std::span<const std::size_t> route, std::size_t hop, std::
   });
 }
 
+des::Duration Network::min_transfer_time(NodeId src, NodeId dst,
+                                         std::size_t bytes) const noexcept {
+  if (src == dst) {
+    return des::Duration::seconds(static_cast<double>(bytes) / config_.node.mem_copy_bw) +
+           des::Duration::micros(5);
+  }
+  const auto route = topology_.route(src, dst);
+  const std::size_t packet = config_.packet_bytes;
+  const std::size_t packets = bytes == 0 ? 1 : (bytes + packet - 1) / packet;
+  // Store-and-forward pipeline with empty queues:
+  //   finish[p][hop] = max(finish[p][hop-1], finish[p-1][hop]) + svc_hop
+  // rolled over packets, keeping one finish time per hop.
+  std::vector<des::Duration> hop_finish(route.size());
+  des::Duration last;
+  std::size_t remaining = bytes;
+  for (std::size_t p = 0; p < packets; ++p) {
+    const std::size_t chunk = (bytes == 0) ? 0 : std::min(packet, remaining);
+    remaining -= chunk;
+    des::Duration prev;  // this packet's finish at the previous hop
+    for (std::size_t hop = 0; hop < route.size(); ++hop) {
+      const des::Duration start = std::max(prev, hop_finish[hop]);
+      prev = start + links_[route[hop]]->service_time(chunk);
+      hop_finish[hop] = prev;
+    }
+    last = prev;
+  }
+  return last;
+}
+
 des::Duration Network::total_link_busy() const noexcept {
   des::Duration total;
   for (const auto& link : links_) total += link->busy_time();

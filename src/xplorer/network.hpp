@@ -36,6 +36,13 @@ class Network {
   void transfer(NodeId src, NodeId dst, std::size_t bytes, Traffic traffic,
                 std::function<void()> on_delivered);
 
+  /// Duration the same transfer would take on an otherwise idle machine:
+  /// packets pipelined store-and-forward over the route with empty queues.
+  /// Pure model arithmetic (no events, no state change) — the obs layer
+  /// uses it to split observed write times into service vs contention.
+  [[nodiscard]] des::Duration min_transfer_time(NodeId src, NodeId dst,
+                                                std::size_t bytes) const noexcept;
+
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] FifoServer& link(std::size_t index) noexcept { return *links_[index]; }
   [[nodiscard]] std::size_t num_links() const noexcept { return links_.size(); }

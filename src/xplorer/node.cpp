@@ -9,6 +9,12 @@ void Node::compute(des::Process& self, double flops) {
     // The checkpointer thread steals a fixed CPU share while streaming.
     total = base.scaled(1.0 / (1.0 - config_.background_io_cpu_steal));
     interference_time_ += total - base;
+    if (tracer_) {
+      const auto t0 = sim_->now().to_nanos();
+      tracer_->span(obs::EventKind::kInterference, static_cast<std::uint16_t>(id_), t0,
+                    t0 + total.to_nanos(),
+                    static_cast<std::uint64_t>((total - base).to_nanos()));
+    }
   }
   compute_time_ += base;
   self.delay(total);
@@ -17,6 +23,11 @@ void Node::compute(des::Process& self, double flops) {
 void Node::mem_copy(des::Process& self, std::size_t bytes) {
   const auto cost = mem_copy_time(bytes);
   copy_time_ += cost;
+  if (tracer_) {
+    const auto t0 = sim_->now().to_nanos();
+    tracer_->span(obs::EventKind::kMemCopy, static_cast<std::uint16_t>(id_), t0,
+                  t0 + cost.to_nanos(), bytes);
+  }
   self.delay(cost);
 }
 

@@ -12,6 +12,7 @@
 
 #include "des/process.hpp"
 #include "des/simulator.hpp"
+#include "obs/tracer.hpp"
 #include "xplorer/config.hpp"
 
 namespace chk::xplorer {
@@ -51,10 +52,13 @@ class Node {
   [[nodiscard]] des::Duration message_time() const noexcept { return message_time_; }
   void reset_stats() noexcept;
 
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   des::Simulator* sim_;
   NodeId id_;
   NodeConfig config_;
+  obs::Tracer* tracer_ = nullptr;
   int background_io_ = 0;
   des::Duration compute_time_;
   des::Duration interference_time_;

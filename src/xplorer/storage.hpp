@@ -67,6 +67,15 @@ class StableStorage {
   [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_written_; }
   [[nodiscard]] std::uint64_t writes_completed() const noexcept { return writes_completed_; }
 
+  /// Duration a write of `bytes` from `from` would take on an otherwise
+  /// idle machine: uncontended mesh pipeline + host link + disk service.
+  /// The gap between this and an observed write duration is queueing —
+  /// storage contention.
+  [[nodiscard]] des::Duration pure_write_time(NodeId from, std::size_t bytes) const noexcept {
+    return network_->min_transfer_time(from, host_node_, bytes) +
+           host_link_.service_time(bytes) + disk_.service_time(bytes);
+  }
+
   [[nodiscard]] FifoServer& disk() noexcept { return disk_; }
   [[nodiscard]] FifoServer& host_link() noexcept { return host_link_; }
   void reset_stats() noexcept;
