@@ -69,9 +69,11 @@ void CheckpointStore::write_commit_blocking(des::Process& self, Rank coordinator
 }
 
 CheckpointImage CheckpointStore::load_image_blocking(des::Process& self, Rank reader,
-                                                     std::uint32_t index) {
+                                                     std::uint32_t index,
+                                                     std::uint64_t* blob_bytes) {
   const std::int64_t t0 = self.sim().now().to_nanos();
   const auto blob = storage_->read_blocking(self, reader, image_key(reader, index));
+  if (blob_bytes != nullptr) *blob_bytes = blob.size();
   if (tracer_ != nullptr) {
     tracer_->span(obs::EventKind::kRecoveryRead, static_cast<std::uint16_t>(reader), t0,
                   self.sim().now().to_nanos(), blob.size());

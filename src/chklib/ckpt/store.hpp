@@ -56,9 +56,12 @@ class CheckpointStore {
   /// Timed write of the global commit record (coordinator's node).
   void write_commit_blocking(des::Process& self, Rank coordinator_node, std::uint32_t epoch);
 
-  /// Timed reads (recovery path).
+  /// Timed reads (recovery path). `blob_bytes`, when non-null, receives the
+  /// serialized size actually transferred from the disk — the number
+  /// recovery accounting charges as bytes read.
   [[nodiscard]] CheckpointImage load_image_blocking(des::Process& self, Rank reader,
-                                                    std::uint32_t index);
+                                                    std::uint32_t index,
+                                                    std::uint64_t* blob_bytes = nullptr);
   [[nodiscard]] std::optional<ChannelLog> load_log_blocking(des::Process& self, Rank reader,
                                                             std::uint32_t index);
 

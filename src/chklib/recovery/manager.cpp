@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "chklib/ckpt/incremental.hpp"
 
@@ -17,6 +18,39 @@ void RecoveryManager::inject_failure_at(des::TimePoint when, Rank rank) {
   });
 }
 
+void RecoveryManager::fail_now(Rank rank) {
+  if (rt_->apps_done()) return;
+  if (rt_->sim().current() != nullptr) {
+    // Called from a process body (e.g. off a storage write hook fired inside
+    // write_blocking). on_failure kills every application process — including,
+    // possibly, the caller — so defer one event into kernel context.
+    rt_->sim().schedule_now([this, rank] {
+      if (rt_->apps_done()) return;
+      on_failure(rank);
+    });
+    return;
+  }
+  on_failure(rank);
+}
+
+void RecoveryManager::abort_active_recovery() {
+  ActiveRecovery aborted = std::move(*active_);
+  active_.reset();
+  // The crash takes the loader processes down with everything else; a loader
+  // that never started never runs. None of them can reach the completion
+  // block, so the coalesced recovery below owns all shared state.
+  for (des::Process* loader : aborted.loaders) {
+    if (!loader->finished()) rt_->sim().kill(*loader);
+  }
+  RecoveryReport& report = *aborted.report;
+  report.interrupted = true;
+  report.recovery_latency = rt_->sim().now() - report.failed_at;
+  report.logged_sends.clear();  // replay scratch; contract: empty when published
+  CHK_INFO("recovery", "restore of rank {} failure interrupted after {}",
+           report.failed_rank, report.recovery_latency.str());
+  reports_.push_back(report);
+}
+
 void RecoveryManager::on_failure(Rank failed) {
   des::Simulator& sim = rt_->sim();
   CHK_INFO("recovery", "node {} failed at {}", failed, sim.now().str());
@@ -25,9 +59,14 @@ void RecoveryManager::on_failure(Rank failed) {
                     sim.now().to_nanos());
   }
 
+  // Overlapping failure: abort the in-flight restore first so the two
+  // recoveries never interleave over shared rank/store/endpoint state.
+  if (active_) abort_active_recovery();
+
   RecoveryReport report;
   report.failed_at = sim.now();
   report.failed_rank = failed;
+  report.mid_write = rt_->store().storage().inflight_writes() > 0;
 
   // Latest saved index per rank, for the domino-depth metric (before
   // prepare_recovery erases post-line images).
@@ -38,29 +77,37 @@ void RecoveryManager::on_failure(Rank failed) {
   }
 
   // 1. The whole application goes down: every in-flight message dies with
-  //    it, every process stops.
+  //    it, every process stops, and stable-storage writes still in the
+  //    pipeline never become durable (no partial/stale image may surface
+  //    after the crash, nor count as bytes written).
   rt_->comm().bump_incarnation();
   rt_->kill_apps();
   protocol_->halt();
   rt_->comm().flush_all();
+  report.inflight_discarded = rt_->store().storage().discard_inflight_writes();
 
   // 2. Plan the rollback (metadata only, free).
   report.line = protocol_->recovery_line();
   report.rolled_to_origin = report.line.at_origin();
   report.domino_depth.resize(rt_->num_ranks());
   for (Rank r = 0; r < rt_->num_ranks(); ++r) {
-    report.domino_depth[r] = newest[r] - report.line.index[r];
+    report.domino_depth[r] = domino_depth(newest[r], report.line.index[r]);
   }
+  report.rollback_distance.resize(rt_->num_ranks());
   protocol_->prepare_recovery(report.line);
+  if (observer_) observer_->on_recovery_begin(failed);
 
   // 3. Restore: one loader process per rank issues the timed stable-storage
   //    reads (they contend at the disk exactly like the writes did).
-  auto pending = std::make_shared<std::size_t>(rt_->num_ranks());
-  auto shared_report = std::make_shared<RecoveryReport>(std::move(report));
-  const std::uint64_t bytes_before = rt_->store().storage().bytes_written();
-  (void)bytes_before;
+  active_.emplace();
+  active_->pending = std::make_shared<std::size_t>(rt_->num_ranks());
+  active_->report = std::make_shared<RecoveryReport>(std::move(report));
+  auto pending = active_->pending;
+  auto shared_report = active_->report;
   for (Rank r = 0; r < rt_->num_ranks(); ++r) {
-    sim.spawn(util::format("recover-r{}", r), [this, r, pending, shared_report](des::Process& self) {
+    des::Process& loader = sim.spawn(
+        util::format("recover-r{}", r),
+        [this, r, pending, shared_report](des::Process& self) {
       RankRuntime& rank = rt_->rank(r);
       const std::uint32_t index = shared_report->line.index[r];
       des::TimePoint restored_from = des::TimePoint::origin();
@@ -69,8 +116,9 @@ void RecoveryManager::on_failure(Rank failed) {
         rank.pending_restore.reset();
         rank.fresh = true;
       } else {
-        CheckpointImage image = rt_->store().load_image_blocking(self, r, index);
-        shared_report->bytes_read += image.state.size();
+        std::uint64_t blob_bytes = 0;
+        CheckpointImage image = rt_->store().load_image_blocking(self, r, index, &blob_bytes);
+        shared_report->bytes_read += blob_bytes;
         restored_from = des::TimePoint::from_nanos(image.captured_at_ns);
         std::vector<std::byte> state;
         if (image.delta_base == 0) {
@@ -78,13 +126,15 @@ void RecoveryManager::on_failure(Rank failed) {
         } else {
           // Incremental chain: read back to the last full image (each read
           // is timed and contends at the disk), then apply the deltas
-          // oldest-first.
+          // oldest-first. These chain reads are the re-read cost of
+          // incremental checkpointing — counted separately as bytes_reread.
           std::vector<CheckpointImage> chain;
           chain.push_back(std::move(image));
           while (chain.back().delta_base != 0) {
-            CheckpointImage pred =
-                rt_->store().load_image_blocking(self, r, chain.back().delta_base);
-            shared_report->bytes_read += pred.state.size();
+            CheckpointImage pred = rt_->store().load_image_blocking(
+                self, r, chain.back().delta_base, &blob_bytes);
+            shared_report->bytes_read += blob_bytes;
+            shared_report->bytes_reread += blob_bytes;
             chain.push_back(std::move(pred));
           }
           state = std::move(chain.back().state);
@@ -123,51 +173,57 @@ void RecoveryManager::on_failure(Rank failed) {
           rt_->comm().endpoint(r).reinject(std::move(log->messages));
         }
       }
-      shared_report->rollback_distance.resize(rt_->num_ranks());
       shared_report->rollback_distance[r] = shared_report->failed_at - restored_from;
-      if (--*pending == 0) {
-        // 4a. Message-log replay: a logged pre-line send whose consumption
-        // is not part of the receiver's restored state was lost with the
-        // crash (its sender will not re-send it); re-inject it. This is
-        // what makes the orphan-free line executable.
-        if (!shared_report->logged_sends.empty()) {
-          std::vector<std::vector<Envelope>> by_dst(rt_->num_ranks());
-          for (Envelope& env : shared_report->logged_sends) {
-            Endpoint& dst = rt_->comm().endpoint(env.dst);
-            if (!dst.already_consumed(env.src, env.seq)) {
-              by_dst[env.dst].push_back(std::move(env));
-            }
-          }
-          for (Rank q = 0; q < rt_->num_ranks(); ++q) {
-            if (by_dst[q].empty()) continue;
-            // FIFO per channel: replay in sequence order.
-            std::sort(by_dst[q].begin(), by_dst[q].end(),
-                      [](const Envelope& a, const Envelope& b) {
-                        return a.src != b.src ? a.src < b.src : a.seq < b.seq;
-                      });
-            shared_report->channel_messages_replayed += by_dst[q].size();
-            rt_->comm().endpoint(q).reinject(std::move(by_dst[q]));
-          }
-        }
-        // The replay scratch must not leak into the published report —
-        // "empty in finished reports" is part of its contract (and the
-        // moved-from envelopes above would be garbage anyway).
-        shared_report->logged_sends.clear();
-        // 4b. Everything restored: restart the protocol and the application.
-        shared_report->recovery_latency = rt_->sim().now() - shared_report->failed_at;
-        protocol_->resume_after_recovery();
-        rt_->restart_apps();
-        reports_.push_back(*shared_report);
-        if (auto* tracer = rt_->tracer()) {
-          tracer->instant(obs::EventKind::kRecoveryDone,
-                          static_cast<std::uint16_t>(shared_report->failed_rank),
-                          rt_->sim().now().to_nanos());
-        }
-        CHK_INFO("recovery", "restart complete at {} (latency {})", rt_->sim().now().str(),
-                 shared_report->recovery_latency.str());
-      }
+      const std::size_t remaining = --*pending;
+      if (observer_) observer_->on_restore_progress(r, remaining);
+      if (remaining == 0) finish_recovery(shared_report);
     });
+    active_->loaders.push_back(&loader);
   }
+}
+
+void RecoveryManager::finish_recovery(const std::shared_ptr<RecoveryReport>& shared_report) {
+  // 4a. Message-log replay: a logged pre-line send whose consumption
+  // is not part of the receiver's restored state was lost with the
+  // crash (its sender will not re-send it); re-inject it. This is
+  // what makes the orphan-free line executable.
+  if (!shared_report->logged_sends.empty()) {
+    std::vector<std::vector<Envelope>> by_dst(rt_->num_ranks());
+    for (Envelope& env : shared_report->logged_sends) {
+      Endpoint& dst = rt_->comm().endpoint(env.dst);
+      if (!dst.already_consumed(env.src, env.seq)) {
+        by_dst[env.dst].push_back(std::move(env));
+      }
+    }
+    for (Rank q = 0; q < rt_->num_ranks(); ++q) {
+      if (by_dst[q].empty()) continue;
+      // FIFO per channel: replay in sequence order.
+      std::sort(by_dst[q].begin(), by_dst[q].end(),
+                [](const Envelope& a, const Envelope& b) {
+                  return a.src != b.src ? a.src < b.src : a.seq < b.seq;
+                });
+      shared_report->channel_messages_replayed += by_dst[q].size();
+      rt_->comm().endpoint(q).reinject(std::move(by_dst[q]));
+    }
+  }
+  // The replay scratch must not leak into the published report —
+  // "empty in finished reports" is part of its contract (and the
+  // moved-from envelopes above would be garbage anyway).
+  shared_report->logged_sends.clear();
+  // 4b. Everything restored: restart the protocol and the application.
+  shared_report->recovery_latency = rt_->sim().now() - shared_report->failed_at;
+  active_.reset();
+  protocol_->resume_after_recovery();
+  rt_->restart_apps();
+  reports_.push_back(*shared_report);
+  if (auto* tracer = rt_->tracer()) {
+    tracer->instant(obs::EventKind::kRecoveryDone,
+                    static_cast<std::uint16_t>(shared_report->failed_rank),
+                    rt_->sim().now().to_nanos());
+  }
+  if (observer_) observer_->on_recovery_end(reports_.back());
+  CHK_INFO("recovery", "restart complete at {} (latency {})", rt_->sim().now().str(),
+           shared_report->recovery_latency.str());
 }
 
 }  // namespace chk::chklib

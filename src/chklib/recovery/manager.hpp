@@ -7,9 +7,18 @@
 // the initial state) for independent schemes — restores process states
 // from stable storage with fully timed reads, replays logged channel
 // contents (coordinated), and restarts the application processes.
+//
+// Failures are serialized: a failure that lands while a previous restore is
+// still in flight aborts that restore (its loader processes die with the
+// crash, its partial report is published with `interrupted` set) and starts
+// a fresh recovery from the surviving stable-storage state. Stable-storage
+// writes that were in the pipeline at the instant of failure are discarded —
+// a crashed node cannot complete a checkpoint write.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "chklib/proto/protocol.hpp"
@@ -27,12 +36,49 @@ struct RecoveryReport {
   std::vector<des::Duration> rollback_distance;
   /// newest saved index minus restored index, per rank (domino depth).
   std::vector<std::uint32_t> domino_depth;
+  /// Stable-storage image bytes read back during restore (channel logs are
+  /// metadata-sized and excluded). Includes bytes_reread.
   std::uint64_t bytes_read = 0;
+  /// The incremental-chain share of bytes_read: predecessor full images and
+  /// deltas read *in addition to* each rank's line image.
+  std::uint64_t bytes_reread = 0;
   std::uint64_t channel_messages_replayed = 0;
   bool rolled_to_origin = false;
+  /// The failure landed while checkpoint stable-storage writes were still in
+  /// the mesh/host-link/disk pipeline (those writes were discarded).
+  bool mid_write = false;
+  /// Number of in-flight stable-storage writes the crash invalidated.
+  std::uint64_t inflight_discarded = 0;
+  /// This recovery's restore was aborted by a subsequent overlapping
+  /// failure; the report is partial (recovery_latency covers only the time
+  /// until the second failure, and the application did not restart from it).
+  bool interrupted = false;
   /// Scratch during recovery: payload-logged sends awaiting lost-message
   /// replay (independent + message logging); empty in finished reports.
   std::vector<Envelope> logged_sends;
+};
+
+/// Domino depth of one rank: how many newer-than-restored checkpoints the
+/// rollback discards. GC or discarded in-flight writes can leave the newest
+/// saved index below the line momentarily — clamp to zero instead of
+/// wrapping the unsigned subtraction.
+[[nodiscard]] constexpr std::uint32_t domino_depth(std::uint32_t newest,
+                                                   std::uint32_t restored) noexcept {
+  return newest > restored ? newest - restored : 0;
+}
+
+/// Passive observer of recovery lifecycle, for fault injection and tests.
+/// All callbacks run in kernel context except on_restore_progress, which
+/// runs in a loader process's context — observers must only inspect state
+/// or schedule simulator events, never call back into RecoveryManager
+/// synchronously.
+class RecoveryObserver {
+ public:
+  virtual ~RecoveryObserver() = default;
+  virtual void on_recovery_begin(Rank /*failed*/) {}
+  /// One rank's restore finished; `remaining` ranks are still loading.
+  virtual void on_restore_progress(Rank /*restored*/, std::size_t /*remaining*/) {}
+  virtual void on_recovery_end(const RecoveryReport& /*report*/) {}
 };
 
 class RecoveryManager {
@@ -46,13 +92,44 @@ class RecoveryManager {
   /// application has already finished by then, the failure is a no-op.
   void inject_failure_at(des::TimePoint when, Rank rank);
 
+  /// Crash `rank` now. Safe from both kernel and process context (a strike
+  /// originating inside a running process — e.g. triggered off a storage
+  /// write hook — is deferred one event so the failure bookkeeping never
+  /// unwinds the caller's own stack). No-op once the application is done.
+  void fail_now(Rank rank);
+
+  /// A restore is in flight (loader processes still pending).
+  [[nodiscard]] bool recovering() const noexcept { return active_.has_value(); }
+
+  /// Whether a failure at this instant would roll back to a non-origin line,
+  /// i.e. the restore would issue timed stable-storage reads. Metadata-only
+  /// planning query (the protocols' recovery_line() is pure); used by fault
+  /// injection to target failures whose recovery actually has a restore
+  /// window.
+  [[nodiscard]] bool restore_would_read() const {
+    return !protocol_->recovery_line().at_origin();
+  }
+
+  void set_observer(RecoveryObserver* observer) noexcept { observer_ = observer; }
+
   [[nodiscard]] const std::vector<RecoveryReport>& reports() const noexcept { return reports_; }
 
  private:
   void on_failure(Rank failed);
+  void abort_active_recovery();
+  void finish_recovery(const std::shared_ptr<RecoveryReport>& shared_report);
+
+  /// The restore currently in flight, if any.
+  struct ActiveRecovery {
+    std::shared_ptr<RecoveryReport> report;
+    std::shared_ptr<std::size_t> pending;  ///< loader ranks not yet restored
+    std::vector<des::Process*> loaders;
+  };
 
   Runtime* rt_;
   Protocol* protocol_;
+  RecoveryObserver* observer_ = nullptr;
+  std::optional<ActiveRecovery> active_;
   std::vector<RecoveryReport> reports_;
 };
 

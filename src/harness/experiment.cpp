@@ -6,6 +6,7 @@
 #include "chklib/proto/independent.hpp"
 #include "chklib/verify/monitor.hpp"
 #include "des/simulator.hpp"
+#include "faultsim/injector.hpp"
 
 namespace chk::harness {
 
@@ -40,7 +41,29 @@ obs::MetricsSnapshot build_metrics(const ExperimentResult& result, const ObsData
   reg.gauge("attrib/logging_s").set(total.logging_s);
   reg.gauge("attrib/frozen_stall_s").set(total.frozen_stall_s);
   reg.gauge("attrib/interference_s").set(total.interference_s);
+  reg.gauge("attrib/recovery_s").set(total.recovery_s);
   reg.gauge("attrib/total_s").set(total.total_s());
+
+  // Recovery outcome counters (all zero in failure-free runs).
+  std::uint64_t interrupted = 0;
+  std::uint64_t mid_write = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_reread = 0;
+  double latency_s = 0;
+  for (const RecoveryReport& rep : result.recoveries) {
+    interrupted += rep.interrupted ? 1 : 0;
+    mid_write += rep.mid_write ? 1 : 0;
+    bytes_read += rep.bytes_read;
+    bytes_reread += rep.bytes_reread;
+    latency_s += rep.recovery_latency.to_seconds();
+  }
+  reg.counter("recovery/failures").set(result.recoveries.size());
+  reg.counter("recovery/interrupted").set(interrupted);
+  reg.counter("recovery/mid_write").set(mid_write);
+  reg.counter("recovery/bytes_read").set(bytes_read);
+  reg.counter("recovery/bytes_reread").set(bytes_reread);
+  reg.counter("recovery/writes_discarded").set(result.writes_discarded);
+  reg.gauge("recovery/latency_total_s").set(latency_s);
 
   auto& windows = reg.histogram("ckpt/window_s", {0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0});
   for (const obs::Event& e : data.trace.events) {
@@ -92,11 +115,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   std::unique_ptr<chklib::RecoveryManager> recovery;
+  std::unique_ptr<faultsim::FaultInjector> injector;
   if (protocol) {
     protocol->start();
-    if (config.failure.has_value()) {
+    if (config.failure.has_value() || config.faults.has_value()) {
       recovery = std::make_unique<chklib::RecoveryManager>(runtime, *protocol);
-      recovery->inject_failure_at(config.failure->when, config.failure->rank);
+      if (config.failure.has_value()) {
+        recovery->inject_failure_at(config.failure->when, config.failure->rank);
+      }
+      if (config.faults.has_value()) {
+        injector = std::make_unique<faultsim::FaultInjector>(runtime, *recovery,
+                                                             *config.faults);
+        injector->arm();
+      }
     }
   }
 
@@ -146,6 +177,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   result.digest = runtime.result_digest();
   if (recovery) result.recoveries = recovery->reports();
+  if (injector) result.injections = injector->stats();
+  result.writes_discarded = machine.storage().writes_discarded();
 
   if (config.observe) {
     ObsData data;
@@ -161,6 +194,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 ExperimentResult run_normal(ExperimentConfig config) {
   config.scheme = Scheme::kNone;
   config.failure.reset();
+  config.faults.reset();
   return run_experiment(config);
 }
 

@@ -11,6 +11,7 @@
 #include "chklib/recovery/line.hpp"
 #include "chklib/recovery/manager.hpp"
 #include "chklib/runtime.hpp"
+#include "faultsim/injector.hpp"
 #include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
@@ -47,6 +48,11 @@ struct ExperimentConfig {
   xplorer::MachineConfig machine = xplorer::MachineConfig::parsytec_xplorer();
   std::uint64_t seed = 2026;
   std::optional<FailureSpec> failure;
+  /// Stochastic fault injection (exponential MTBF arrivals, optional
+  /// targeted mid-write / during-recovery strikes). Requires a checkpointing
+  /// scheme — without one there is no recovery path to exercise. Composes
+  /// with `failure` (the hand-placed failure fires in addition).
+  std::optional<faultsim::FaultPlan> faults;
   /// Safety valve: abort (throw) if the simulation exceeds this many events.
   std::uint64_t max_events = std::uint64_t{1} << 40;
   /// Ablation: coordinated checkpoints capture empty images (isolates the
@@ -118,6 +124,10 @@ struct ExperimentResult {
 
   std::optional<double> digest;
   std::vector<RecoveryReport> recoveries;
+  /// Fault-injection outcome (all-zero unless config.faults was set).
+  faultsim::InjectionStats injections;
+  /// Stable-storage writes invalidated mid-pipeline by crashes.
+  std::uint64_t writes_discarded = 0;
 
   /// Present iff the run was observed (ExperimentConfig::observe).
   std::optional<ObsData> obs;

@@ -9,6 +9,7 @@
 //   blocked window  =  sync_wait + mem_copy + stable_write
 //                      + storage_contention + logging        (exact, in ns)
 //   per-rank total  =  blocked windows + frozen_stall + interference
+//                      + recovery
 //
 // stable_write is the write's uncontended service time (mesh pipeline +
 // host link + disk, empty queues); storage_contention is the rest of the
@@ -35,16 +36,19 @@ struct RankBuckets {
   double logging_s = 0;
   double frozen_stall_s = 0;
   double interference_s = 0;
+  /// Time this rank spent reading state back from stable storage during
+  /// rollback recovery (zero in failure-free runs).
+  double recovery_s = 0;
   /// Sum of this rank's checkpoint blocking windows (== the protocol's
   /// app_blocked share; the first five buckets partition it exactly).
   double blocked_total_s = 0;
 
   [[nodiscard]] double bucket_sum_s() const noexcept {
     return sync_wait_s + mem_copy_s + stable_write_s + storage_contention_s +
-           logging_s + frozen_stall_s + interference_s;
+           logging_s + frozen_stall_s + interference_s + recovery_s;
   }
   [[nodiscard]] double total_s() const noexcept {
-    return blocked_total_s + frozen_stall_s + interference_s;
+    return blocked_total_s + frozen_stall_s + interference_s + recovery_s;
   }
 };
 

@@ -15,20 +15,37 @@ StableStorage::StableStorage(des::Simulator& sim, Network& network,
 void StableStorage::write(NodeId from, std::string key, std::vector<std::byte> data,
                           std::function<void()> on_durable) {
   const std::size_t bytes = data.size();
+  if (write_hook_) write_hook_(from, key, bytes);
+  ++inflight_writes_;
+  const std::uint64_t generation = write_generation_;
   // Stage 1: mesh to the host node. Stage 2: host interface link.
-  // Stage 3: disk service. Data becomes durable at disk completion.
+  // Stage 3: disk service. Data becomes durable at disk completion — unless
+  // a crash invalidated the write's generation first, in which case the
+  // pipeline events still drain but the payload is dropped on the floor.
   auto state = std::make_shared<std::pair<std::string, std::vector<std::byte>>>(
       std::move(key), std::move(data));
   network_->transfer(from, host_node_, bytes, Traffic::kCheckpoint,
-                     [this, bytes, state, on_durable = std::move(on_durable)]() mutable {
-    host_link_.submit(bytes, [this, bytes, state, on_durable = std::move(on_durable)]() mutable {
-      disk_.submit(bytes, [this, state, on_durable = std::move(on_durable)] {
+                     [this, bytes, generation, state,
+                      on_durable = std::move(on_durable)]() mutable {
+    host_link_.submit(bytes, [this, bytes, generation, state,
+                              on_durable = std::move(on_durable)]() mutable {
+      disk_.submit(bytes, [this, generation, state, on_durable = std::move(on_durable)] {
+        if (generation != write_generation_) return;  // discarded by a crash
+        --inflight_writes_;
         store_now(state->first, std::move(state->second));
         ++writes_completed_;
         if (on_durable) on_durable();
       });
     });
   });
+}
+
+std::size_t StableStorage::discard_inflight_writes() noexcept {
+  const std::size_t discarded = inflight_writes_;
+  ++write_generation_;
+  writes_discarded_ += discarded;
+  inflight_writes_ = 0;
+  return discarded;
 }
 
 void StableStorage::write_blocking(des::Process& self, NodeId from, std::string key,

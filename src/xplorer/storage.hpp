@@ -39,6 +39,25 @@ class StableStorage {
   void write(NodeId from, std::string key, std::vector<std::byte> data,
              std::function<void()> on_durable);
 
+  /// Failure seam: every write still in the mesh/host-link/disk pipeline is
+  /// invalidated — it never becomes durable, is not counted in
+  /// bytes_written(), and its on_durable never fires. Callers must ensure
+  /// the writer processes are killed (a crash takes them down with the
+  /// write); a live write_blocking waiter would hang. Returns the number of
+  /// writes invalidated.
+  std::size_t discard_inflight_writes() noexcept;
+
+  /// Writes submitted but not yet durable (nor discarded).
+  [[nodiscard]] std::size_t inflight_writes() const noexcept { return inflight_writes_; }
+  /// Writes invalidated by discard_inflight_writes over the run.
+  [[nodiscard]] std::uint64_t writes_discarded() const noexcept { return writes_discarded_; }
+
+  /// Passive hook invoked at every write submission (fault injection aims
+  /// mid-write strikes with it). Must not mutate storage state; scheduling
+  /// simulator events is fine.
+  using WriteHook = std::function<void(NodeId from, const std::string& key, std::size_t bytes)>;
+  void set_write_hook(WriteHook hook) noexcept { write_hook_ = std::move(hook); }
+
   /// Blocking variant for process context.
   void write_blocking(des::Process& self, NodeId from, std::string key,
                       std::vector<std::byte> data);
@@ -93,6 +112,10 @@ class StableStorage {
   std::uint64_t peak_bytes_ = 0;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t writes_completed_ = 0;
+  std::uint64_t write_generation_ = 0;
+  std::size_t inflight_writes_ = 0;
+  std::uint64_t writes_discarded_ = 0;
+  WriteHook write_hook_;
 };
 
 }  // namespace chk::xplorer
