@@ -1,0 +1,199 @@
+// Link-loss ablation: scheme robustness and cost over unreliable links.
+//
+// The paper assumes reliable FIFO channels; this sweep measures what the
+// reliable transport (acks, retransmission, duplicate suppression) costs
+// when the links underneath actually misbehave. Each loss point sets the
+// per-frame drop probability to `loss`, duplication to loss/2 and
+// corruption to loss/4, runs every paper scheme on the same app, and
+// reports completion time, the overhead relative to the same scheme on
+// perfect links and the transport's repair activity. Every run must
+// reproduce the perfect-link digest — exactly-once FIFO delivery means
+// the application cannot tell the links were lossy.
+//
+//   ./ablation_linkloss [--app=SOR-384] [--losses=0.02,0.05,0.1,0.2]
+//                       [--nodes=8] [--checkpoints=0] [--intervals=5]
+//                       [--seed=2026] [--json-out=BENCH_linkloss.json]
+//                       [--quick]
+//
+// --quick shrinks the sweep (2 loss points). Output is byte-identical
+// across repeats with the same seed.
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/catalog.hpp"
+#include "harness/experiment.hpp"
+#include "obs/export.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace chk;
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// The five scheme columns of the paper's Table 1, in paper order.
+const std::vector<harness::Scheme>& sweep_schemes() {
+  static const std::vector<harness::Scheme> schemes{
+      harness::Scheme::kCoordNB, harness::Scheme::kIndep, harness::Scheme::kCoordNBM,
+      harness::Scheme::kIndepM, harness::Scheme::kCoordNBMS};
+  return schemes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+
+  const std::string app_label = cli.get("app", "SOR-384");
+  std::vector<double> losses;
+  try {
+    for (const std::string& tok :
+         split_list(cli.get("losses", quick ? "0.05,0.2" : "0.02,0.05,0.1,0.2"))) {
+      char* end = nullptr;
+      const double loss = std::strtod(tok.c_str(), &end);
+      if (tok.empty() || end != tok.c_str() + tok.size() || loss != loss) {
+        throw std::invalid_argument("--losses: expected a number, got \"" + tok + "\"");
+      }
+      if (loss < 0.0 || loss >= 1.0) {
+        throw std::invalid_argument("--losses: loss rates must be in [0, 1), got " + tok);
+      }
+      losses.push_back(loss);
+    }
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "ablation_linkloss: %s\n", err.what());
+    return 2;
+  }
+  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 8));
+  const auto checkpoints = static_cast<std::uint32_t>(cli.get_int("checkpoints", 0));
+  const double intervals = cli.get_double("intervals", 5.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+
+  // Baseline: failure-free, perfect links — sets the checkpoint interval
+  // and the digest every lossy run must still compute.
+  harness::ExperimentConfig base;
+  base.label = app_label;
+  base.app = harness::find_row(app_label).app;
+  base.machine.num_nodes = nodes;
+  base.seed = seed;
+  base.checkpoints = checkpoints;
+  const harness::ExperimentResult normal = harness::run_normal(base);
+  base.interval = des::Duration::seconds(normal.exec_time_s / intervals);
+
+  // Loss 0 first (the per-scheme reference), then the sweep; all cells
+  // fan out and are collected in fixed order.
+  std::vector<double> points;
+  points.push_back(0.0);
+  points.insert(points.end(), losses.begin(), losses.end());
+  std::vector<harness::ExperimentResult> results(points.size() * sweep_schemes().size());
+  {
+    std::vector<std::future<harness::ExperimentResult>> pending;
+    pending.reserve(results.size());
+    for (double loss : points) {
+      for (harness::Scheme scheme : sweep_schemes()) {
+        harness::ExperimentConfig config = base;
+        config.scheme = scheme;
+        if (loss > 0.0) {
+          chklib::LinkFaultConfig faults;
+          faults.drop = loss;
+          faults.duplicate = loss / 2;
+          faults.corrupt = loss / 4;
+          config.link_faults = faults;
+        }
+        pending.push_back(std::async(std::launch::async, [config] {
+          return harness::run_experiment(config);
+        }));
+      }
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) results[i] = pending[i].get();
+  }
+
+  bool all_ok = true;
+  for (const harness::ExperimentResult& r : results) {
+    all_ok = all_ok && r.digest == normal.digest && r.invariant_violations == 0;
+  }
+
+  std::vector<std::string> header{"loss"};
+  for (harness::Scheme scheme : sweep_schemes()) header.emplace_back(to_string(scheme));
+  util::Table table(header);
+  std::size_t index = 0;
+  const std::size_t columns = sweep_schemes().size();
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::vector<std::string> row{util::Table::fixed(points[p], 2)};
+    for (std::size_t s = 0; s < columns; ++s) {
+      const harness::ExperimentResult& r = results[index++];
+      const double reference = results[s].exec_time_s;  // loss 0, same scheme
+      const double overhead = (r.exec_time_s / reference - 1.0) * 100.0;
+      row.push_back(util::format("{} ({}%) rtx={}",
+                                 util::Table::fixed(r.exec_time_s, 1),
+                                 util::Table::fixed(overhead, 1), r.retransmits));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table
+                 .render(util::format(
+                     "{} on {} nodes over lossy links (drop=loss, dup=loss/2, "
+                     "corrupt=loss/4; reliable transport on; exec time s, "
+                     "overhead vs the same scheme at loss 0, retransmissions; "
+                     "digests + invariants verified: {})",
+                     app_label, nodes, all_ok ? "yes" : "NO"))
+                 .c_str(),
+             stdout);
+
+  using obs::json::Value;
+  Value doc = Value::object();
+  doc.set("table", Value::string("linkloss"));
+  doc.set("app", Value::string(app_label));
+  doc.set("nodes", Value::number(std::uint64_t{nodes}));
+  doc.set("seed", Value::number(seed));
+  doc.set("normal_exec_s", Value::number(normal.exec_time_s));
+  doc.set("all_verified", Value::boolean(all_ok));
+  Value row_array = Value::array();
+  index = 0;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    Value entry = Value::object();
+    entry.set("loss", Value::number(points[p]));
+    Value cell_array = Value::array();
+    for (std::size_t s = 0; s < columns; ++s) {
+      const harness::ExperimentResult& r = results[index++];
+      Value cv = Value::object();
+      cv.set("scheme", Value::string(std::string(to_string(r.scheme))));
+      cv.set("exec_s", Value::number(r.exec_time_s));
+      cv.set("retransmits", Value::number(r.retransmits));
+      cv.set("dups_suppressed", Value::number(r.dups_suppressed));
+      cv.set("corrupt_detected", Value::number(r.corrupt_detected));
+      cv.set("link_drops", Value::number(r.link_drops));
+      cv.set("link_duplicates", Value::number(r.link_duplicates));
+      cv.set("link_corrupted", Value::number(r.link_corrupted));
+      cv.set("aborted_rounds", Value::number(std::uint64_t{r.aborted_rounds}));
+      cv.set("committed_rounds", Value::number(std::uint64_t{r.committed_rounds}));
+      cv.set("digest_ok", Value::boolean(r.digest == normal.digest));
+      cv.set("invariant_violations", Value::number(r.invariant_violations));
+      cell_array.push_back(std::move(cv));
+    }
+    entry.set("cells", std::move(cell_array));
+    row_array.push_back(std::move(entry));
+  }
+  doc.set("rows", std::move(row_array));
+  const std::string path = cli.get("json-out", "BENCH_linkloss.json");
+  obs::write_text_file(path, doc.dump() + "\n");
+  std::printf("\nWrote %s\n", path.c_str());
+  return all_ok ? 0 : 1;
+}

@@ -12,17 +12,23 @@
 //   ./campaign [--apps=SOR-384,NQUEENS-14] [--mtbf-fracs=0.35,0.7,1.4]
 //              [--runs=4] [--max-failures=6] [--nodes=8] [--checkpoints=0]
 //              [--intervals=5] [--seed=2026] [--campaign-seed=1]
+//              [--link-loss=0] [--link-dup=0] [--link-corrupt=0]
+//              [--link-delay=0] [--link-delay-mean=0.001] [--transport]
 //              [--json-out=BENCH_campaign.json] [--quick]
 //
 // --intervals sets the checkpoint interval to normal_exec/intervals;
 // --checkpoints=0 keeps checkpointing active until the app completes (the
-// right setting when failures extend the run). --quick shrinks the sweep
+// right setting when failures extend the run). --link-loss/--link-dup/
+// --link-corrupt/--link-delay add per-frame link faults on top of the
+// failure process; the reliable FIFO transport repairs them (disable it
+// with --no-transport to expose the raw loss). --quick shrinks the sweep
 // for smoke testing (1 app, 2 MTBF points, 2 runs). Every run verifies the
 // application digest against the failure-free baseline; the output is
 // byte-identical across repeats with the same seeds.
 #include <cstdio>
 #include <future>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -87,6 +93,19 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
   const auto campaign_seed =
       static_cast<std::uint64_t>(cli.get_int("campaign-seed", 1));
+  chklib::LinkFaultConfig link_faults;
+  try {
+    link_faults.drop = cli.get_prob("link-loss", 0.0);
+    link_faults.duplicate = cli.get_prob("link-dup", 0.0);
+    link_faults.corrupt = cli.get_prob("link-corrupt", 0.0);
+    link_faults.delay_prob = cli.get_prob("link-delay", 0.0);
+    link_faults.delay_mean_s = cli.get_nonneg_double("link-delay-mean", 1e-3);
+    link_faults.validate();
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "campaign: %s\n", err.what());
+    return 2;
+  }
+  const bool transport = cli.get_bool("transport", true);
 
   // Failure-free baselines: the MTBF sweep and the checkpoint interval are
   // both expressed relative to each app's normal execution time, and the
@@ -140,6 +159,10 @@ int main(int argc, char** argv) {
       config.campaign_seed = campaign_seed;
       config.max_failures_per_run = max_failures;
       config.expected_digest = normal.digest;
+      if (link_faults.enabled()) {
+        config.link_faults = link_faults;
+        config.reliable_transport = transport;
+      }
       pending.push_back(std::async(std::launch::async, [config] {
         return faultsim::run_campaign(config);
       }));
@@ -191,6 +214,11 @@ int main(int argc, char** argv) {
   doc.set("max_failures_per_run", Value::number(std::uint64_t{max_failures}));
   doc.set("seed", Value::number(seed));
   doc.set("campaign_seed", Value::number(campaign_seed));
+  doc.set("link_loss", Value::number(link_faults.drop));
+  doc.set("link_dup", Value::number(link_faults.duplicate));
+  doc.set("link_corrupt", Value::number(link_faults.corrupt));
+  doc.set("link_delay", Value::number(link_faults.delay_prob));
+  doc.set("reliable_transport", Value::boolean(transport));
   doc.set("all_verified", Value::boolean(all_verified));
   Value row_array = Value::array();
   cell_index = 0;

@@ -13,6 +13,95 @@ CommSystem::CommSystem(xplorer::Machine& machine) : machine_(&machine) {
   }
 }
 
+void CommSystem::set_link_faults(const LinkFaultConfig& config, util::Rng rng) {
+  faults_ = std::make_unique<LinkFaultModel>(config, rng);
+  if (transport_ != nullptr) transport_->set_fault_model(faults_.get());
+}
+
+void CommSystem::enable_transport(TransportConfig config) {
+  transport_ = std::make_unique<Transport>(machine_->sim(), machine_->network(), config);
+  transport_->set_fault_model(faults_.get());
+  transport_->set_tracer(tracer_);
+  transport_->set_deliver_app([this](Envelope env) { deliver_app(std::move(env)); });
+  transport_->set_deliver_control(
+      [this](Rank dst, const ControlMsg& msg) { deliver_control(dst, msg); });
+  if (raw_drop_filter_) transport_->set_control_drop_filter(std::move(raw_drop_filter_));
+}
+
+void CommSystem::set_control_drop_filter(Transport::ControlDropFilter filter) {
+  if (transport_ != nullptr) {
+    transport_->set_control_drop_filter(std::move(filter));
+  } else {
+    raw_drop_filter_ = std::move(filter);
+  }
+}
+
+void CommSystem::deliver_app(Envelope env) {
+  if (env.incarnation != incarnation_) {
+    ++dropped_stale_;  // message from a rolled-back execution
+    if (observer_ != nullptr) observer_->on_stale_dropped(env.dst, env.incarnation);
+    return;
+  }
+  endpoint(env.dst).deliver(std::move(env));
+}
+
+void CommSystem::deliver_control(Rank dst, const ControlMsg& msg) {
+  if (msg.incarnation != incarnation_) {
+    ++dropped_stale_;
+    if (observer_ != nullptr) observer_->on_stale_dropped(dst, msg.incarnation);
+    return;
+  }
+  if (observer_ != nullptr) observer_->on_control_delivered(dst, msg);
+  endpoint(dst).control_mailbox().send(msg);
+}
+
+void CommSystem::arrive_raw_app(const std::shared_ptr<Envelope>& carried) {
+  if (faults_ == nullptr) {
+    deliver_app(std::move(*carried));
+    return;
+  }
+  const LinkFaultModel::Verdict verdict = faults_->judge();
+  if (verdict.drop) return;
+  if (verdict.corrupt) return;  // no transport checksum: link-level CRC discard
+  if (verdict.duplicate) {
+    machine_->sim().schedule_after(des::Duration::nanos(verdict.dup_lag_ns),
+                                   [this, copy = *carried]() mutable {
+                                     deliver_app(std::move(copy));
+                                   });
+  }
+  if (verdict.extra_delay_ns > 0) {
+    machine_->sim().schedule_after(des::Duration::nanos(verdict.extra_delay_ns),
+                                   [this, carried] {
+                                     deliver_app(std::move(*carried));
+                                   });
+    return;
+  }
+  deliver_app(std::move(*carried));
+}
+
+void CommSystem::arrive_raw_control(Rank dst, const ControlMsg& msg) {
+  if (raw_drop_filter_ && raw_drop_filter_(msg)) return;
+  if (faults_ == nullptr) {
+    deliver_control(dst, msg);
+    return;
+  }
+  const LinkFaultModel::Verdict verdict = faults_->judge();
+  if (verdict.drop) return;
+  if (verdict.corrupt) return;
+  if (verdict.duplicate) {
+    machine_->sim().schedule_after(
+        des::Duration::nanos(verdict.dup_lag_ns),
+        [this, dst, msg] { deliver_control(dst, msg); });
+  }
+  if (verdict.extra_delay_ns > 0) {
+    machine_->sim().schedule_after(
+        des::Duration::nanos(verdict.extra_delay_ns),
+        [this, dst, msg] { deliver_control(dst, msg); });
+    return;
+  }
+  deliver_control(dst, msg);
+}
+
 void CommSystem::transmit(des::Process& self, Envelope env) {
   if (hooks_ != nullptr) hooks_->on_send(env.src, env);
   env.incarnation = incarnation_;
@@ -21,19 +110,16 @@ void CommSystem::transmit(des::Process& self, Envelope env) {
   app_bytes_ += env.payload.size();
   // Sender-side CPU staging cost (software overhead + copy to link buffer).
   machine_->node(env.src).message_overhead(self, env.payload.size());
+  if (transport_ != nullptr) {
+    transport_->send_app(std::move(env));
+    return;
+  }
   const Rank src = env.src;
   const Rank dst = env.dst;
   const std::size_t wire_bytes = env.payload.size() + kHeaderWireBytes;
   auto carried = std::make_shared<Envelope>(std::move(env));
   machine_->network().transfer(src, dst, wire_bytes, xplorer::Traffic::kApplication,
-                               [this, carried] {
-    if (carried->incarnation != incarnation_) {
-      ++dropped_stale_;  // message from a rolled-back execution
-      if (observer_ != nullptr) observer_->on_stale_dropped(carried->dst, carried->incarnation);
-      return;
-    }
-    endpoint(carried->dst).deliver(std::move(*carried));
-  });
+                               [this, carried] { arrive_raw_app(carried); });
 }
 
 void CommSystem::send_control(Rank src, Rank dst, ControlMsg msg) {
@@ -44,16 +130,12 @@ void CommSystem::send_control(Rank src, Rank dst, ControlMsg msg) {
   }
   ++control_messages_;
   control_bytes_ += kControlWireBytes;
+  if (transport_ != nullptr) {
+    transport_->send_control(src, dst, msg);
+    return;
+  }
   machine_->network().transfer(src, dst, kControlWireBytes, xplorer::Traffic::kControl,
-                               [this, dst, msg] {
-    if (msg.incarnation != incarnation_) {
-      ++dropped_stale_;
-      if (observer_ != nullptr) observer_->on_stale_dropped(dst, msg.incarnation);
-      return;
-    }
-    if (observer_ != nullptr) observer_->on_control_delivered(dst, msg);
-    endpoint(dst).control_mailbox().send(msg);
-  });
+                               [this, dst, msg] { arrive_raw_control(dst, msg); });
 }
 
 void CommSystem::flush_all() {
@@ -69,6 +151,8 @@ void CommSystem::reset_stats() noexcept {
   control_messages_ = 0;
   control_bytes_ = 0;
   dropped_stale_ = 0;
+  if (transport_ != nullptr) transport_->reset_stats();
+  if (faults_ != nullptr) faults_->reset_counters();
 }
 
 }  // namespace chk::chklib

@@ -8,7 +8,9 @@
 #include "chklib/comm/endpoint.hpp"
 #include "chklib/comm/envelope.hpp"
 #include "chklib/comm/hooks.hpp"
+#include "chklib/comm/link_fault.hpp"
 #include "chklib/comm/observer.hpp"
+#include "chklib/comm/transport.hpp"
 #include "xplorer/machine.hpp"
 
 namespace chk::chklib {
@@ -31,6 +33,23 @@ class CommSystem {
   /// invariant monitor; observers must not mutate simulation state.
   void set_observer(InvariantObserver* observer) noexcept { observer_ = observer; }
   [[nodiscard]] InvariantObserver* observer() const noexcept { return observer_; }
+
+  /// Install the unreliable-link model. Every frame arrival (app, control,
+  /// and — with the transport enabled — transport acks and retransmissions)
+  /// is judged by it. Call before traffic starts.
+  void set_link_faults(const LinkFaultConfig& config, util::Rng rng);
+  [[nodiscard]] LinkFaultModel* link_faults() noexcept { return faults_.get(); }
+
+  /// Layer the reliable FIFO transport (sequence numbers, cumulative acks,
+  /// retransmission) under the message paths, restoring exactly-once FIFO
+  /// delivery over lossy links. Call before traffic starts.
+  void enable_transport(TransportConfig config = {});
+  [[nodiscard]] Transport* transport() noexcept { return transport_.get(); }
+
+  /// Test hook: make the link swallow matching control frames (each
+  /// physical copy re-evaluated, so stateful filters can drop only the
+  /// first). Works with and without the transport.
+  void set_control_drop_filter(Transport::ControlDropFilter filter);
 
   /// Application-message transmission (sender process context): applies
   /// hooks, charges sender CPU, then hands the envelope to the network.
@@ -55,6 +74,7 @@ class CommSystem {
   void set_tracer(obs::Tracer* tracer) noexcept {
     tracer_ = tracer;
     for (auto& ep : endpoints_) ep->set_tracer(tracer);
+    if (transport_ != nullptr) transport_->set_tracer(tracer);
   }
 
   // -- statistics -------------------------------------------------------------
@@ -63,14 +83,49 @@ class CommSystem {
   [[nodiscard]] std::uint64_t control_messages() const noexcept { return control_messages_; }
   [[nodiscard]] std::uint64_t control_bytes() const noexcept { return control_bytes_; }
   [[nodiscard]] std::uint64_t dropped_stale() const noexcept { return dropped_stale_; }
+  // Transport counters (zero when the transport is off).
+  [[nodiscard]] std::uint64_t retransmits() const noexcept {
+    return transport_ != nullptr ? transport_->stats().retransmits : 0;
+  }
+  [[nodiscard]] std::uint64_t dups_suppressed() const noexcept {
+    return transport_ != nullptr ? transport_->stats().dups_suppressed : 0;
+  }
+  [[nodiscard]] std::uint64_t corrupt_detected() const noexcept {
+    return transport_ != nullptr ? transport_->stats().corrupt_detected : 0;
+  }
+  // Raw link-weather counters (zero when no fault model is installed).
+  [[nodiscard]] std::uint64_t link_drops() const noexcept {
+    return faults_ != nullptr ? faults_->drops() : 0;
+  }
+  [[nodiscard]] std::uint64_t link_duplicates() const noexcept {
+    return faults_ != nullptr ? faults_->duplicates() : 0;
+  }
+  [[nodiscard]] std::uint64_t link_corrupted() const noexcept {
+    return faults_ != nullptr ? faults_->corrupted() : 0;
+  }
+  [[nodiscard]] std::uint64_t link_delayed() const noexcept {
+    return faults_ != nullptr ? faults_->delayed() : 0;
+  }
   void reset_stats() noexcept;
 
  private:
+  /// Exactly-once hand-up paths (also the raw network callbacks when the
+  /// transport is off): apply the recovery incarnation filter, then
+  /// endpoint delivery.
+  void deliver_app(Envelope env);
+  void deliver_control(Rank dst, const ControlMsg& msg);
+  /// Raw-path (transport off) fault application at link exit.
+  void arrive_raw_app(const std::shared_ptr<Envelope>& carried);
+  void arrive_raw_control(Rank dst, const ControlMsg& msg);
+
   xplorer::Machine* machine_;
   ProtocolHooks* hooks_ = nullptr;
   InvariantObserver* observer_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::unique_ptr<LinkFaultModel> faults_;
+  std::unique_ptr<Transport> transport_;
+  Transport::ControlDropFilter raw_drop_filter_;
   std::uint32_t incarnation_ = 0;
   std::uint64_t app_messages_ = 0;
   std::uint64_t app_bytes_ = 0;

@@ -44,6 +44,7 @@ enum class ControlKind : std::uint8_t {
   kToken,          ///< stagger ring/arbiter: your turn to write to stable storage
   kTokenRequest,   ///< writer -> arbiter: request the stagger grant (Indep_MS)
   kTokenRelease,   ///< writer -> arbiter: done writing, grant the next (Indep_MS)
+  kTokenBeacon,    ///< writer -> coordinator: stagger token passed (watchdog progress)
 };
 
 struct ControlMsg {

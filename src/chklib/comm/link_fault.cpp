@@ -1,0 +1,70 @@
+#include "chklib/comm/link_fault.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace chk::chklib {
+
+namespace {
+
+void check_prob(const char* name, double p) {
+  if (!(p >= 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument(std::string(name) +
+                                ": probability must be in [0, 1), got " +
+                                std::to_string(p));
+  }
+}
+
+void check_nonneg(const char* name, double v) {
+  if (!(v >= 0.0)) {
+    throw std::invalid_argument(std::string(name) +
+                                ": must be non-negative, got " +
+                                std::to_string(v));
+  }
+}
+
+std::int64_t to_ns(double seconds) {
+  return static_cast<std::int64_t>(seconds * 1e9);
+}
+
+}  // namespace
+
+void LinkFaultConfig::validate() const {
+  check_prob("link drop", drop);
+  check_prob("link duplicate", duplicate);
+  check_prob("link corrupt", corrupt);
+  check_prob("link delay probability", delay_prob);
+  check_nonneg("link delay mean", delay_mean_s);
+  check_nonneg("link duplicate lag mean", dup_lag_mean_s);
+}
+
+LinkFaultModel::Verdict LinkFaultModel::judge() {
+  Verdict v;
+  // Base draws happen unconditionally and in a fixed order; only the
+  // value draws (mask, lags) are conditional — determinism needs the same
+  // call sequence for the same seed, which this guarantees.
+  v.drop = cfg_.drop > 0 && rng_.bernoulli(cfg_.drop);
+  v.duplicate = cfg_.duplicate > 0 && rng_.bernoulli(cfg_.duplicate);
+  v.corrupt = cfg_.corrupt > 0 && rng_.bernoulli(cfg_.corrupt);
+  const bool delay = cfg_.delay_prob > 0 && rng_.bernoulli(cfg_.delay_prob);
+  if (v.drop) {
+    // The frame never arrives; nothing downstream to duplicate or corrupt.
+    ++drops_;
+    return Verdict{.drop = true};
+  }
+  if (v.duplicate) {
+    ++duplicates_;
+    v.dup_lag_ns = to_ns(rng_.exponential(cfg_.dup_lag_mean_s));
+  }
+  if (v.corrupt) {
+    ++corrupted_;
+    v.corrupt_mask = rng_() | 1u;
+  }
+  if (delay) {
+    ++delayed_;
+    v.extra_delay_ns = to_ns(rng_.exponential(cfg_.delay_mean_s));
+  }
+  return v;
+}
+
+}  // namespace chk::chklib

@@ -1,0 +1,88 @@
+// Configurable unreliable-link model.
+//
+// The paper's CHK-LIB promises reliable FIFO channels on top of raw Parix
+// links; this model supplies the raw-link misbehavior those channels must
+// survive: per-frame drop, duplication, corruption and extra queueing
+// delay, each an independent Bernoulli draw from a dedicated seed-stable
+// RNG stream (same seed, same fault schedule, same trace — the campaign
+// discipline of src/faultsim/injector.*). The model judges every frame the
+// network delivers, including transport-layer acks and retransmissions;
+// when no model is installed the comm layer takes its historical
+// fault-free path, so the feature is zero-overhead when disabled.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace chk::chklib {
+
+struct LinkFaultConfig {
+  /// Per-frame loss probability in [0, 1).
+  double drop = 0;
+  /// Per-frame duplication probability in [0, 1): a second, clean copy of
+  /// the frame arrives `dup_lag_mean_s` (exponential) later.
+  double duplicate = 0;
+  /// Per-frame payload-corruption probability in [0, 1): the frame arrives
+  /// with flipped bits. With the reliable transport installed the checksum
+  /// catches it (and the retransmit recovers it); without, the frame is
+  /// discarded as a link-level CRC failure — i.e. it behaves as a loss.
+  double corrupt = 0;
+  /// Per-frame extra-delay probability in [0, 1); a delayed frame arrives
+  /// `delay_mean_s` (exponential) later, which can reorder the raw link.
+  double delay_prob = 0;
+  double delay_mean_s = 1e-3;
+  double dup_lag_mean_s = 5e-4;
+  /// Stream selector forked off the experiment seed, so one experiment
+  /// config hosts many campaign runs differing only in the link weather.
+  std::uint64_t stream = 0;
+
+  /// True when any fault can actually occur.
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop > 0 || duplicate > 0 || corrupt > 0 || delay_prob > 0;
+  }
+  /// Throws std::invalid_argument on out-of-range probabilities (outside
+  /// [0, 1)) or negative delays.
+  void validate() const;
+};
+
+class LinkFaultModel {
+ public:
+  /// The model's ruling on one frame arrival. Draw order is fixed
+  /// (drop, duplicate, corrupt, delay) regardless of outcomes, so the
+  /// stream stays aligned across configs that toggle individual faults.
+  struct Verdict {
+    bool drop = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    std::uint64_t corrupt_mask = 0;   ///< nonzero iff corrupt
+    std::int64_t dup_lag_ns = 0;      ///< lag of the duplicate copy
+    std::int64_t extra_delay_ns = 0;  ///< 0 = deliver now
+  };
+
+  LinkFaultModel(const LinkFaultConfig& config, util::Rng rng)
+      : cfg_(config), rng_(rng) {
+    cfg_.validate();
+  }
+
+  [[nodiscard]] Verdict judge();
+
+  [[nodiscard]] const LinkFaultConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t duplicates() const noexcept { return duplicates_; }
+  [[nodiscard]] std::uint64_t corrupted() const noexcept { return corrupted_; }
+  [[nodiscard]] std::uint64_t delayed() const noexcept { return delayed_; }
+  void reset_counters() noexcept {
+    drops_ = duplicates_ = corrupted_ = delayed_ = 0;
+  }
+
+ private:
+  LinkFaultConfig cfg_;
+  util::Rng rng_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t delayed_ = 0;
+};
+
+}  // namespace chk::chklib

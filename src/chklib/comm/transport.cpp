@@ -1,0 +1,243 @@
+#include "chklib/comm/transport.hpp"
+
+#include <algorithm>
+
+namespace chk::chklib {
+
+namespace {
+
+/// Wire size of one physical frame copy.
+std::size_t frame_wire_bytes(std::size_t logical_bytes) {
+  return logical_bytes + kTransportWireBytes;
+}
+
+}  // namespace
+
+Transport::Transport(des::Simulator& sim, xplorer::Network& network,
+                     TransportConfig config)
+    : sim_(&sim), network_(&network), cfg_(config) {}
+
+std::uint64_t Transport::checksum_of(const Frame& frame) {
+  // splitmix64-fold over every field the "wire" carries, including `pad`
+  // (the corruption target) and the payload bytes — a flipped bit anywhere
+  // fails verification.
+  std::uint64_t h = 0x2545f4914f6cdd1dull;
+  auto mix = [&h](std::uint64_t word) {
+    h ^= word;
+    h = util::splitmix64(h);
+  };
+  mix(static_cast<std::uint64_t>(frame.kind));
+  mix(static_cast<std::uint64_t>(frame.src));
+  mix(static_cast<std::uint64_t>(frame.dst));
+  mix(frame.seq);
+  mix(frame.ack);
+  mix(frame.pad);
+  if (frame.kind == FrameKind::kApp) {
+    const Envelope& env = frame.env;
+    mix(static_cast<std::uint64_t>(env.tag));
+    mix(env.epoch);
+    mix(env.incarnation);
+    mix(env.seq);
+    mix(env.payload.size());
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < env.payload.size(); ++i) {
+      word = (word << 8) | static_cast<std::uint64_t>(env.payload[i]);
+      if ((i & 7u) == 7u) {
+        mix(word);
+        word = 0;
+      }
+    }
+    if ((env.payload.size() & 7u) != 0) mix(word);
+  } else if (frame.kind == FrameKind::kControl) {
+    mix(static_cast<std::uint64_t>(frame.msg.kind));
+    mix(static_cast<std::uint64_t>(frame.msg.src));
+    mix(frame.msg.epoch);
+    mix(frame.msg.incarnation);
+  }
+  return h;
+}
+
+void Transport::send_app(Envelope env) {
+  Frame frame;
+  frame.kind = FrameKind::kApp;
+  frame.src = env.src;
+  frame.dst = env.dst;
+  frame.env = std::move(env);
+  submit(std::move(frame));
+}
+
+void Transport::send_control(Rank src, Rank dst, const ControlMsg& msg) {
+  Frame frame;
+  frame.kind = FrameKind::kControl;
+  frame.src = src;
+  frame.dst = dst;
+  frame.msg = msg;
+  submit(std::move(frame));
+}
+
+void Transport::submit(Frame frame) {
+  const LinkKey link{frame.src, frame.dst};
+  SenderLink& tx = senders_[link];
+  frame.seq = tx.next_seq++;
+  frame.checksum = checksum_of(frame);
+  ++stats_.data_frames;
+  transmit_frame(frame);
+  tx.unacked.emplace(frame.seq, std::move(frame));
+  if (!tx.rto_timer.pending()) {
+    tx.rto = cfg_.rto_initial;
+    arm_rto(link, tx);
+  }
+}
+
+void Transport::transmit_frame(const Frame& frame) {
+  std::size_t logical = kAckWireBytes;
+  xplorer::Traffic traffic = xplorer::Traffic::kControl;
+  Rank from = frame.dst;
+  Rank to = frame.src;
+  if (frame.kind != FrameKind::kAck) {
+    from = frame.src;
+    to = frame.dst;
+    logical = frame.kind == FrameKind::kApp
+                  ? frame.env.payload.size() + kHeaderWireBytes
+                  : kControlWireBytes;
+    traffic = frame.kind == FrameKind::kApp ? xplorer::Traffic::kApplication
+                                            : xplorer::Traffic::kControl;
+  }
+  network_->transfer(from, to, frame_wire_bytes(logical), traffic,
+                     [this, frame] { on_frame_arrival(frame); });
+}
+
+void Transport::on_frame_arrival(Frame frame) {
+  // The test hook models a link that eats specific control frames; it sits
+  // below the fault model so retransmitted copies are re-evaluated.
+  if (frame.kind == FrameKind::kControl && drop_filter_ && drop_filter_(frame.msg)) {
+    return;
+  }
+  if (faults_ != nullptr) {
+    const LinkFaultModel::Verdict verdict = faults_->judge();
+    if (verdict.drop) return;
+    if (verdict.duplicate) {
+      // The duplicate is a second clean physical copy; it does not pass
+      // through the fault model again (that would recurse unboundedly at
+      // high duplication rates).
+      sim_->schedule_after(des::Duration::nanos(verdict.dup_lag_ns),
+                           [this, copy = frame] { process_frame(copy); });
+    }
+    if (verdict.corrupt) frame.pad ^= verdict.corrupt_mask;
+    if (verdict.extra_delay_ns > 0) {
+      sim_->schedule_after(des::Duration::nanos(verdict.extra_delay_ns),
+                           [this, delayed = std::move(frame)] {
+                             process_frame(delayed);
+                           });
+      return;
+    }
+  }
+  process_frame(std::move(frame));
+}
+
+void Transport::process_frame(Frame frame) {
+  if (checksum_of(frame) != frame.checksum) {
+    // Treated exactly like a loss: the sender's RTO recovers data frames,
+    // and a lost ack is covered by the next (cumulative) one.
+    ++stats_.corrupt_detected;
+    return;
+  }
+  if (frame.kind == FrameKind::kAck) {
+    handle_ack(frame);
+    return;
+  }
+  const LinkKey link{frame.src, frame.dst};
+  ReceiverLink& rx = receivers_[link];
+  if (frame.seq < rx.rx_next || rx.reorder.contains(frame.seq)) {
+    // Duplicate (link-level or retransmit after a lost ack): suppress, but
+    // re-ack — the sender may still be waiting on the ack that died.
+    ++stats_.dups_suppressed;
+    send_ack(link, rx.rx_next);
+    return;
+  }
+  if (frame.seq == rx.rx_next) {
+    ++rx.rx_next;
+    hand_up(std::move(frame));
+    for (auto it = rx.reorder.begin();
+         it != rx.reorder.end() && it->first == rx.rx_next;
+         it = rx.reorder.erase(it)) {
+      ++rx.rx_next;
+      hand_up(std::move(it->second));
+    }
+    if (rx.stall_open && rx.reorder.empty()) {
+      rx.stall_open = false;
+      const std::int64_t now = sim_->now().to_nanos();
+      if (tracer_ != nullptr && now > rx.stall_start_ns) {
+        tracer_->span(obs::EventKind::kRetransmitWait,
+                      static_cast<std::uint16_t>(link.second), rx.stall_start_ns,
+                      now, 0, static_cast<std::uint32_t>(link.first));
+      }
+    }
+  } else {
+    if (!rx.stall_open) {
+      rx.stall_open = true;
+      rx.stall_start_ns = sim_->now().to_nanos();
+    }
+    rx.reorder.emplace(frame.seq, std::move(frame));
+  }
+  send_ack(link, rx.rx_next);
+}
+
+void Transport::handle_ack(const Frame& frame) {
+  const LinkKey link{frame.src, frame.dst};
+  const auto it = senders_.find(link);
+  if (it == senders_.end()) return;
+  SenderLink& tx = it->second;
+  bool advanced = false;
+  while (!tx.unacked.empty() && tx.unacked.begin()->first < frame.ack) {
+    tx.unacked.erase(tx.unacked.begin());
+    advanced = true;
+  }
+  if (!advanced) return;
+  tx.rto_timer.cancel();
+  tx.rto = cfg_.rto_initial;
+  if (!tx.unacked.empty()) arm_rto(link, tx);
+}
+
+void Transport::send_ack(const LinkKey& link, std::uint64_t ack) {
+  Frame frame;
+  frame.kind = FrameKind::kAck;
+  frame.src = link.first;
+  frame.dst = link.second;
+  frame.ack = ack;
+  frame.checksum = checksum_of(frame);
+  ++stats_.acks_sent;
+  transmit_frame(frame);
+}
+
+void Transport::hand_up(Frame frame) {
+  if (frame.kind == FrameKind::kApp) {
+    if (deliver_app_) deliver_app_(std::move(frame.env));
+  } else {
+    if (deliver_control_) deliver_control_(frame.dst, frame.msg);
+  }
+}
+
+void Transport::arm_rto(const LinkKey& link, SenderLink& tx) {
+  tx.rto_timer = sim_->schedule_after(tx.rto, [this, link] { on_rto(link); });
+}
+
+void Transport::on_rto(const LinkKey& link) {
+  SenderLink& tx = senders_[link];
+  if (tx.unacked.empty()) return;
+  for (const auto& [seq, frame] : tx.unacked) {
+    ++stats_.retransmits;
+    if (tracer_ != nullptr) {
+      tracer_->instant(obs::EventKind::kRetransmit,
+                       static_cast<std::uint16_t>(link.first),
+                       sim_->now().to_nanos(), seq,
+                       static_cast<std::uint32_t>(link.second));
+    }
+    transmit_frame(frame);
+  }
+  tx.rto = des::Duration::nanos(
+      std::min(tx.rto.to_nanos() * 2, cfg_.rto_cap.to_nanos()));
+  arm_rto(link, tx);
+}
+
+}  // namespace chk::chklib

@@ -50,7 +50,7 @@ void CoordinatedProtocol::begin_round(std::uint32_t epoch) {
   if (round_in_progress_) return;
   round_in_progress_ = true;
   round_epoch_ = epoch;
-  acks_ = 0;
+  acked_.clear();
   CHK_DEBUG("coord", "round {} begins at {}", epoch, rt_->sim().now().str());
   if (auto* tracer = rt_->tracer()) {
     tracer->instant(obs::EventKind::kRoundBegin, static_cast<std::uint16_t>(cfg_.coordinator),
@@ -67,6 +67,72 @@ void CoordinatedProtocol::begin_round(std::uint32_t epoch) {
     rt_->comm().send_control(cfg_.coordinator, 0,
                              ControlMsg{ControlKind::kToken, cfg_.coordinator, epoch, 0});
   }
+  if (cfg_.round_timeout.to_nanos() > 0) {
+    round_watchdog_.cancel();
+    round_watchdog_ = rt_->sim().schedule_after(
+        cfg_.round_timeout, [this, epoch] { on_round_timeout(epoch); });
+    track_timer(round_watchdog_);
+  }
+  if (cfg_.scheme == Scheme::kCoordNBMS && cfg_.token_timeout.to_nanos() > 0) {
+    token_pos_ = 0;
+    token_progress_ = false;
+    ring_done_ = false;
+    token_watchdog_.cancel();
+    arm_token_watchdog();
+  }
+}
+
+void CoordinatedProtocol::on_round_timeout(std::uint32_t epoch) {
+  if (!round_in_progress_ || round_epoch_ != epoch) return;
+  ++stats_.aborted_rounds;
+  CHK_DEBUG("coord", "round {} aborted at {} ({} / {} acks)", epoch,
+            rt_->sim().now().str(), acked_.size(), rt_->num_ranks());
+  if (auto* tracer = rt_->tracer()) {
+    tracer->instant(obs::EventKind::kRoundAbort,
+                    static_cast<std::uint16_t>(cfg_.coordinator),
+                    rt_->sim().now().to_nanos(), 0, epoch);
+  }
+  token_watchdog_.cancel();
+  round_in_progress_ = false;
+  if (is_staggered(cfg_.scheme) && !is_buffered(cfg_.scheme) && grant_held_) {
+    // A lost Coord_NBS write grant leaves its holder's application blocked
+    // in the acquire forever; re-issue it. If the original did arrive, the
+    // holder's epoch dedup drops this copy harmlessly.
+    rt_->comm().send_control(
+        cfg_.coordinator, grant_holder_,
+        ControlMsg{ControlKind::kToken, cfg_.coordinator, grant_epoch_, 0});
+  }
+  begin_round(epoch + 1);
+}
+
+void CoordinatedProtocol::arm_token_watchdog() {
+  token_watchdog_ = rt_->sim().schedule_after(
+      cfg_.token_timeout,
+      [this, epoch = round_epoch_] { on_token_timeout(epoch); });
+  track_timer(token_watchdog_);
+}
+
+void CoordinatedProtocol::on_token_timeout(std::uint32_t epoch) {
+  if (!round_in_progress_ || round_epoch_ != epoch || ring_done_) return;
+  if (!token_progress_) {
+    // A whole period with no beacon: assume the token (or its carrier's
+    // beacon) died on the link and re-issue it toward the next expected
+    // holder. A rank that did receive the original drops the duplicate.
+    ++stats_.tokens_regenerated;
+    CHK_DEBUG("coord", "stagger token regenerated toward rank {} (epoch {})",
+              token_pos_, epoch);
+    if (auto* tracer = rt_->tracer()) {
+      tracer->instant(obs::EventKind::kTokenRegen,
+                      static_cast<std::uint16_t>(cfg_.coordinator),
+                      rt_->sim().now().to_nanos(), 0,
+                      static_cast<std::uint32_t>(token_pos_));
+    }
+    rt_->comm().send_control(
+        cfg_.coordinator, token_pos_,
+        ControlMsg{ControlKind::kToken, cfg_.coordinator, epoch, 0});
+  }
+  token_progress_ = false;
+  arm_token_watchdog();
 }
 
 void CoordinatedProtocol::on_send(Rank src, Envelope& env) {
@@ -112,21 +178,47 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
       if (rt_->rank(r).app_process == nullptr && agent.pending_epoch > agent.epoch) {
         do_local_checkpoint(self, r, agent.pending_epoch);
       }
-      ++agent.markers[msg.epoch];
+      agent.markers[msg.epoch].insert(msg.src);
       try_finish(r, self);
       break;
     case ControlKind::kToken:
+      // Duplicate suppression — a lossy link can replay a token, and the
+      // watchdogs deliberately re-issue possibly-lost ones; honouring a
+      // duplicate makes the stagger semaphore creep and staggering
+      // silently degrade. Coord_NBS grants answer an explicit request
+      // (exact test); Coord_NBMS ring tokens carry strictly increasing
+      // epochs at any given rank (exact floor test).
+      if (is_staggered(cfg_.scheme) && !is_buffered(cfg_.scheme)) {
+        if (!agent.grant_outstanding) break;
+        agent.grant_outstanding = false;
+      } else {
+        if (msg.epoch <= agent.last_token_epoch) break;
+        agent.last_token_epoch = msg.epoch;
+      }
       if (auto* tracer = rt_->tracer()) {
         tracer->instant(obs::EventKind::kTokenPass, static_cast<std::uint16_t>(r),
                         rt_->sim().now().to_nanos(), 0, msg.epoch);
       }
       agent.token.release();
       break;
+    case ControlKind::kTokenBeacon:
+      // Coord_NBMS ring progress report for the token watchdog.
+      if (r != cfg_.coordinator) break;
+      if (!round_in_progress_ || msg.epoch != round_epoch_) break;
+      token_progress_ = true;
+      if (static_cast<std::size_t>(msg.src) + 1 >= rt_->num_ranks()) {
+        ring_done_ = true;
+      } else if (msg.src + 1 > token_pos_) {
+        token_pos_ = msg.src + 1;
+      }
+      break;
     case ControlKind::kCkptAck: {
       if (r != cfg_.coordinator) break;
       if (!round_in_progress_ || msg.epoch != round_epoch_) break;
-      ++acks_;
-      if (acks_ == rt_->num_ranks()) {
+      if (!acked_.insert(msg.src).second) break;
+      if (acked_.size() == rt_->num_ranks()) {
+        round_watchdog_.cancel();
+        token_watchdog_.cancel();
         // Phase 2: make the global checkpoint permanent, then tell everyone.
         rt_->store().write_commit_blocking(self, cfg_.coordinator, round_epoch_);
         ++stats_.committed_rounds;
@@ -158,6 +250,8 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
         grant_queue_.push_back(msg.src);
       } else {
         grant_held_ = true;
+        grant_holder_ = msg.src;
+        grant_epoch_ = msg.epoch;
         rt_->comm().send_control(r, msg.src, ControlMsg{ControlKind::kToken, r, msg.epoch, 0});
       }
       break;
@@ -168,6 +262,8 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
       } else {
         const Rank next = grant_queue_.front();
         grant_queue_.pop_front();
+        grant_holder_ = next;
+        grant_epoch_ = msg.epoch;
         rt_->comm().send_control(r, next, ControlMsg{ControlKind::kToken, r, msg.epoch, 0});
       }
       break;
@@ -241,6 +337,7 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
     // found staggering useless without memory buffering: the stalls simply
     // queue up instead of overlapping.
     if (is_staggered(cfg_.scheme)) {
+      agent.grant_outstanding = true;
       rt_->comm().send_control(r, cfg_.coordinator,
                                ControlMsg{ControlKind::kTokenRequest, r, epoch, 0});
       agent.token.acquire(carrier);
@@ -281,6 +378,11 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
           rt_->comm().send_control(r, r + 1,
                                    ControlMsg{ControlKind::kToken, r, image.index, 0});
         }
+        if (is_staggered(cfg_.scheme) && cfg_.token_timeout.to_nanos() > 0) {
+          rt_->comm().send_control(
+              r, cfg_.coordinator,
+              ControlMsg{ControlKind::kTokenBeacon, r, image.index, 0});
+        }
         a.durable = true;
         try_finish(r, self);
       }));
@@ -292,7 +394,7 @@ void CoordinatedProtocol::try_finish(Rank r, des::Process& proc, WriteContext lo
   const std::size_t needed = rt_->num_ranks() - 1;
   std::size_t have = 0;
   if (const auto it = agent.markers.find(agent.epoch); it != agent.markers.end()) {
-    have = it->second;
+    have = it->second.size();
   }
   if (have != needed) return;
   agent.finishing = true;
@@ -347,11 +449,18 @@ void CoordinatedProtocol::prepare_recovery(const RecoveryLine& line) {
     while (agent.token.try_acquire()) {}
     agent.tracker.reset();  // next capture is forced full
     agent.last_ckpt_epoch = line.index[r];
+    // Post-recovery rounds run at epochs above the line, so re-seeding the
+    // dedup floor here keeps their tokens acceptable.
+    agent.last_token_epoch = line.index[r];
+    agent.grant_outstanding = false;
   }
-  acks_ = 0;
+  acked_.clear();
   round_in_progress_ = false;
   grant_queue_.clear();
   grant_held_ = false;
+  round_watchdog_.cancel();
+  token_watchdog_.cancel();
+  ring_done_ = true;
 }
 
 void CoordinatedProtocol::resume_after_recovery() {

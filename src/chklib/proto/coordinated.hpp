@@ -29,6 +29,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 
 #include "chklib/ckpt/image.hpp"
 #include "chklib/ckpt/incremental.hpp"
@@ -58,6 +59,17 @@ class CoordinatedProtocol final : public Protocol {
     /// With incremental on: take a full image every N checkpoints (epoch 1,
     /// 1+N, ... are full), bounding the recovery chain length.
     std::uint32_t full_every = 4;
+    /// Round watchdog: if > 0, the coordinator aborts a round whose acks
+    /// have not completed within this duration and re-initiates it at the
+    /// next epoch (the lost messages' checkpoints become tentative and are
+    /// superseded). Zero disables the watchdog entirely — arming the timer
+    /// perturbs event sequencing, so fault-free runs keep it off.
+    des::Duration round_timeout = des::Duration::zero();
+    /// Stagger-token watchdog period (Coord_NBMS): if > 0, writers beacon
+    /// each token pass to the coordinator, which regenerates the token
+    /// toward the next expected holder when a whole period elapses with no
+    /// progress. Zero disables (and suppresses the beacons).
+    des::Duration token_timeout = des::Duration::zero();
   };
 
   CoordinatedProtocol(Runtime& runtime, Config config);
@@ -95,10 +107,21 @@ class CoordinatedProtocol final : public Protocol {
     bool durable = false;             ///< state image on disk
     bool finishing = false;           ///< log write + ack underway/done
     ChannelLog log;
-    std::map<std::uint32_t, std::size_t> markers;  ///< markers received per epoch
+    /// Marker senders per epoch. A set (not a count): lossy raw links can
+    /// duplicate a marker, and a duplicate must not complete the round.
+    std::map<std::uint32_t, std::set<Rank>> markers;
     des::SimSemaphore token;          ///< stagger permission to write
     IncrementalTracker tracker;       ///< dirty-chunk baseline (incremental mode)
     std::uint32_t last_ckpt_epoch = 0;
+    /// Highest ring-token epoch honoured (Coord_NBMS); duplicates
+    /// (link-level or watchdog-regenerated) are dropped so the stagger
+    /// semaphore never creeps. Ring tokens carry strictly increasing
+    /// epochs at any given rank, so the floor test is exact.
+    std::uint32_t last_token_epoch = 0;
+    /// Coord_NBS: a write grant was requested and not yet received. Grants
+    /// arriving without an outstanding request are duplicates (an abort
+    /// regrant racing the original) and are dropped.
+    bool grant_outstanding = false;
   };
 
   /// Epochs 1, 1+full_every, ... carry full images in incremental mode.
@@ -120,15 +143,32 @@ class CoordinatedProtocol final : public Protocol {
   void try_finish(Rank r, des::Process& proc,
                   WriteContext log_ctx = WriteContext::kBackground);
   void handle_commit(Rank r, std::uint32_t epoch);
+  /// Round watchdog expiry: abort the stalled round, re-initiate at the
+  /// next epoch (and re-issue a possibly-lost Coord_NBS write grant).
+  void on_round_timeout(std::uint32_t epoch);
+  void arm_token_watchdog();
+  /// Token watchdog expiry: regenerate the stagger token toward the next
+  /// expected holder if no ring progress was beaconed this period.
+  void on_token_timeout(std::uint32_t epoch);
 
   Config cfg_;
   std::vector<std::unique_ptr<Agent>> agents_;
-  std::uint32_t acks_ = 0;
+  /// Ranks that acked the in-progress round (a set, not a count: lossy raw
+  /// links can duplicate an ack, and a duplicate must not commit early).
+  std::set<Rank> acked_;
   std::uint32_t round_epoch_ = 0;
   bool round_in_progress_ = false;
   // Coord_NBS write-grant arbitration (held by the coordinator's daemon).
   std::deque<Rank> grant_queue_;
   bool grant_held_ = false;
+  Rank grant_holder_ = 0;           ///< valid while grant_held_
+  std::uint32_t grant_epoch_ = 0;   ///< epoch the held grant was issued for
+  // Watchdog state (armed only when the corresponding timeout is > 0).
+  des::EventHandle round_watchdog_;
+  des::EventHandle token_watchdog_;
+  Rank token_pos_ = 0;          ///< next expected stagger-token holder
+  bool token_progress_ = false; ///< a beacon arrived this watchdog period
+  bool ring_done_ = true;       ///< the stagger ring completed this round
 };
 
 }  // namespace chk::chklib

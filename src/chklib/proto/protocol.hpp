@@ -30,6 +30,8 @@ struct ProtocolStats {
   std::uint64_t local_checkpoints = 0;  ///< per-process checkpoint operations
   std::uint64_t delta_checkpoints = 0;  ///< of which incremental deltas
   std::uint32_t committed_rounds = 0;   ///< globally committed epochs (coordinated)
+  std::uint32_t aborted_rounds = 0;     ///< rounds the watchdog timed out and re-initiated
+  std::uint32_t tokens_regenerated = 0; ///< stagger tokens re-issued by the watchdog
   std::uint64_t gc_reclaimed = 0;       ///< checkpoints deleted by garbage collection
   /// Total time application processes spent blocked performing checkpoint
   /// work (the scheme's blocking window, summed over ranks and rounds).

@@ -54,6 +54,12 @@ class Monitor final : public InvariantObserver {
     /// simulation stops the instant the last rank finishes, which can
     /// legitimately leave regenerated duplicates in flight).
     bool strict_final_inflight = false;
+    /// The raw links below the monitor drop / duplicate / reorder frames
+    /// and no reliable transport repairs them (link faults on, transport
+    /// off). Arrival-replay, quiescence, consume and stagger checks assume
+    /// loss-free FIFO channels and are disabled; the transmit-side dense
+    /// check and the "arrived but never transmitted" check remain.
+    bool lossy_raw_links = false;
   };
 
   /// Builds scheme-appropriate options (quiescence for Coord_*, stagger

@@ -17,6 +17,11 @@ RunOutcome run_one(const CampaignConfig& config, std::uint32_t run_index) {
   plan.ensure_midwrite = config.ensure_midwrite;
   plan.ensure_during_recovery = config.ensure_during_recovery;
   experiment.faults = plan;
+  if (config.link_faults.has_value()) {
+    experiment.link_faults = config.link_faults;
+    experiment.link_faults->stream = config.campaign_seed + run_index;
+    experiment.reliable_transport = config.reliable_transport;
+  }
 
   const harness::ExperimentResult result = harness::run_experiment(experiment);
 
@@ -45,6 +50,11 @@ RunOutcome run_one(const CampaignConfig& config, std::uint32_t run_index) {
   outcome.digest_ok = result.digest.has_value() &&
                       (!config.expected_digest.has_value() ||
                        *result.digest == *config.expected_digest);
+  outcome.retransmits = result.retransmits;
+  outcome.dups_suppressed = result.dups_suppressed;
+  outcome.corrupt_detected = result.corrupt_detected;
+  outcome.link_drops = result.link_drops;
+  outcome.aborted_rounds = result.aborted_rounds;
   return outcome;
 }
 
@@ -98,6 +108,11 @@ obs::json::Value outcome_to_json(const RunOutcome& o) {
   v.set("max_domino_depth", Value::number(std::uint64_t{o.max_domino_depth}));
   v.set("rolled_to_origin", Value::boolean(o.rolled_to_origin));
   v.set("digest_ok", Value::boolean(o.digest_ok));
+  v.set("retransmits", Value::number(o.retransmits));
+  v.set("dups_suppressed", Value::number(o.dups_suppressed));
+  v.set("corrupt_detected", Value::number(o.corrupt_detected));
+  v.set("link_drops", Value::number(o.link_drops));
+  v.set("aborted_rounds", Value::number(std::uint64_t{o.aborted_rounds}));
   return v;
 }
 

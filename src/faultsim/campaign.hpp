@@ -31,6 +31,13 @@ struct CampaignConfig {
   std::uint32_t max_failures_per_run = 6;
   bool ensure_midwrite = true;
   bool ensure_during_recovery = true;
+  /// Unreliable links during the campaign runs (composes with the failure
+  /// process). Run i forks the link-fault stream by campaign_seed + i so
+  /// loss realizations vary per run but reproduce exactly.
+  std::optional<chklib::LinkFaultConfig> link_faults;
+  /// Run the reliable FIFO transport above the lossy links (see
+  /// ExperimentConfig::reliable_transport).
+  bool reliable_transport = true;
   /// Failure-free result digest to verify each run against (any failure
   /// schedule must still compute the same answer).
   std::optional<double> expected_digest;
@@ -53,6 +60,12 @@ struct RunOutcome {
   std::uint32_t max_domino_depth = 0;
   bool rolled_to_origin = false;  ///< any recovery fell back to the initial state
   bool digest_ok = false;
+  // Link-fault / transport activity (zero when the campaign has no link faults).
+  std::uint64_t retransmits = 0;
+  std::uint64_t dups_suppressed = 0;
+  std::uint64_t corrupt_detected = 0;
+  std::uint64_t link_drops = 0;
+  std::uint32_t aborted_rounds = 0;
 };
 
 struct CampaignSummary {

@@ -42,7 +42,19 @@ obs::MetricsSnapshot build_metrics(const ExperimentResult& result, const ObsData
   reg.gauge("attrib/frozen_stall_s").set(total.frozen_stall_s);
   reg.gauge("attrib/interference_s").set(total.interference_s);
   reg.gauge("attrib/recovery_s").set(total.recovery_s);
+  reg.gauge("attrib/retransmit_wait_s").set(total.retransmit_wait_s);
   reg.gauge("attrib/total_s").set(total.total_s());
+
+  // Transport / link-fault counters (all zero with faults off).
+  reg.counter("comm/retransmits").set(result.retransmits);
+  reg.counter("comm/dups_suppressed").set(result.dups_suppressed);
+  reg.counter("comm/corrupt_detected").set(result.corrupt_detected);
+  reg.counter("comm/link_drops").set(result.link_drops);
+  reg.counter("comm/link_duplicates").set(result.link_duplicates);
+  reg.counter("comm/link_corrupted").set(result.link_corrupted);
+  reg.counter("comm/link_delayed").set(result.link_delayed);
+  reg.counter("ckpt/aborted_rounds").set(result.aborted_rounds);
+  reg.counter("ckpt/tokens_regenerated").set(result.tokens_regenerated);
 
   // Recovery outcome counters (all zero in failure-free runs).
   std::uint64_t interrupted = 0;
@@ -83,6 +95,26 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.observe) runtime.set_tracer(&tracer);
   runtime.set_app(config.label, config.app);
 
+  // Unreliable links + reliable transport. Configured before the protocol
+  // exists so its control traffic rides the transport from the first send.
+  const bool lossy_links = config.link_faults.has_value() && config.link_faults->enabled();
+  if (lossy_links) {
+    runtime.comm().set_link_faults(
+        *config.link_faults,
+        runtime.fork_rng(0x11F0u).fork(config.link_faults->stream));
+    if (config.reliable_transport) runtime.comm().enable_transport();
+  }
+  // Watchdogs: off by default (arming the timers perturbs fault-free event
+  // sequencing); auto-armed whenever the links can actually lose messages.
+  des::Duration round_timeout = config.round_timeout;
+  des::Duration token_timeout = config.token_timeout;
+  if (lossy_links && round_timeout.to_nanos() == 0) {
+    round_timeout = config.interval + des::Duration::secs(30);
+  }
+  if (lossy_links && token_timeout.to_nanos() == 0) {
+    token_timeout = round_timeout / 4;
+  }
+
   std::unique_ptr<chklib::Protocol> protocol;
   if (is_coordinated(config.scheme)) {
     protocol = std::make_unique<chklib::CoordinatedProtocol>(
@@ -93,7 +125,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                             .ablate_discard_state =
                                                 config.ablate_empty_checkpoints,
                                             .incremental = config.incremental,
-                                            .full_every = config.full_every});
+                                            .full_every = config.full_every,
+                                            .round_timeout = round_timeout,
+                                            .token_timeout = token_timeout});
   } else if (is_independent(config.scheme)) {
     protocol = std::make_unique<chklib::IndependentProtocol>(
         runtime, chklib::IndependentProtocol::Config{.scheme = config.scheme,
@@ -109,8 +143,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   std::unique_ptr<chklib::verify::Monitor> monitor;
   if (config.verify) {
-    monitor = std::make_unique<chklib::verify::Monitor>(
-        runtime, chklib::verify::Monitor::options_for(config.scheme));
+    auto options = chklib::verify::Monitor::options_for(config.scheme);
+    options.lossy_raw_links = lossy_links && !config.reliable_transport;
+    monitor = std::make_unique<chklib::verify::Monitor>(runtime, options);
     monitor->install();
   }
 
@@ -164,11 +199,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.control_bytes = runtime.comm().control_bytes();
   result.checkpoint_net_bytes = machine.network().bytes_sent(xplorer::Traffic::kCheckpoint);
 
+  result.retransmits = runtime.comm().retransmits();
+  result.dups_suppressed = runtime.comm().dups_suppressed();
+  result.corrupt_detected = runtime.comm().corrupt_detected();
+  result.link_drops = runtime.comm().link_drops();
+  result.link_duplicates = runtime.comm().link_duplicates();
+  result.link_corrupted = runtime.comm().link_corrupted();
+  result.link_delayed = runtime.comm().link_delayed();
+
   if (protocol) {
     const auto& stats = protocol->stats();
     result.local_checkpoints = stats.local_checkpoints;
     result.committed_rounds = stats.committed_rounds;
     result.gc_reclaimed = stats.gc_reclaimed;
+    result.aborted_rounds = stats.aborted_rounds;
+    result.tokens_regenerated = stats.tokens_regenerated;
   }
   result.bytes_written = machine.storage().bytes_written();
   result.peak_storage_bytes = machine.storage().peak_bytes();
@@ -195,6 +240,7 @@ ExperimentResult run_normal(ExperimentConfig config) {
   config.scheme = Scheme::kNone;
   config.failure.reset();
   config.faults.reset();
+  config.link_faults.reset();  // baselines measure the fault-free machine
   return run_experiment(config);
 }
 

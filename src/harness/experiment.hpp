@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "chklib/comm/link_fault.hpp"
 #include "chklib/proto/scheme.hpp"
 #include "chklib/recovery/line.hpp"
 #include "chklib/recovery/manager.hpp"
@@ -53,6 +54,21 @@ struct ExperimentConfig {
   /// scheme — without one there is no recovery path to exercise. Composes
   /// with `failure` (the hand-placed failure fires in addition).
   std::optional<faultsim::FaultPlan> faults;
+  /// Unreliable-link model: per-link drop / duplicate / corrupt / delay
+  /// faults on the message network. Unset (or all-zero probabilities) =
+  /// perfect links, bit-identical to pre-fault-model builds.
+  std::optional<chklib::LinkFaultConfig> link_faults;
+  /// With link faults on: run the reliable FIFO transport (acks,
+  /// retransmission, duplicate suppression) above the lossy links. Turning
+  /// this off exposes the protocols to raw loss — only the round/token
+  /// watchdogs stand between them and a hang. Ignored without link faults.
+  bool reliable_transport = true;
+  /// Coordinated round watchdog; zero = auto (interval + 30 s) when link
+  /// faults are enabled, otherwise off.
+  des::Duration round_timeout = des::Duration::zero();
+  /// Coord_NBMS stagger-token watchdog; zero = auto (round watchdog / 4)
+  /// when link faults are enabled, otherwise off.
+  des::Duration token_timeout = des::Duration::zero();
   /// Safety valve: abort (throw) if the simulation exceeds this many events.
   std::uint64_t max_events = std::uint64_t{1} << 40;
   /// Ablation: coordinated checkpoints capture empty images (isolates the
@@ -112,6 +128,17 @@ struct ExperimentResult {
   std::uint64_t control_messages = 0;  ///< the protocols' synchronization cost
   std::uint64_t control_bytes = 0;
   std::uint64_t checkpoint_net_bytes = 0;
+
+  // unreliable links + reliable transport (all zero with faults off)
+  std::uint64_t retransmits = 0;       ///< frames re-sent after an RTO
+  std::uint64_t dups_suppressed = 0;   ///< duplicate frames dropped by the receiver
+  std::uint64_t corrupt_detected = 0;  ///< checksum failures (frame discarded)
+  std::uint64_t link_drops = 0;        ///< frames the fault model destroyed
+  std::uint64_t link_duplicates = 0;   ///< frames the fault model duplicated
+  std::uint64_t link_corrupted = 0;    ///< frames the fault model corrupted
+  std::uint64_t link_delayed = 0;      ///< frames given extra delay
+  std::uint32_t aborted_rounds = 0;    ///< rounds the coordinator watchdog re-initiated
+  std::uint32_t tokens_regenerated = 0;  ///< stagger tokens re-issued by the watchdog
 
   // checkpointing
   std::uint64_t local_checkpoints = 0;

@@ -16,6 +16,7 @@ struct NsBuckets {
   std::int64_t frozen = 0;
   std::int64_t interference = 0;
   std::int64_t recovery = 0;
+  std::int64_t retransmit_wait = 0;
 };
 
 constexpr double to_s(std::int64_t ns) noexcept { return static_cast<double>(ns) * 1e-9; }
@@ -53,6 +54,9 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
       case EventKind::kRecoveryRead:
         b.recovery += e.dur_ns;
         break;
+      case EventKind::kRetransmitWait:
+        b.retransmit_wait += e.dur_ns;
+        break;
       case EventKind::kInterference:
         b.interference += static_cast<std::int64_t>(e.aux);
         break;
@@ -77,6 +81,7 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
     out.frozen_stall_s = to_s(b.frozen);
     out.interference_s = to_s(b.interference);
     out.recovery_s = to_s(b.recovery);
+    out.retransmit_wait_s = to_s(b.retransmit_wait);
     out.blocked_total_s = to_s(b.window);
 
     report.total.sync_wait_s += out.sync_wait_s;
@@ -87,6 +92,7 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
     report.total.frozen_stall_s += out.frozen_stall_s;
     report.total.interference_s += out.interference_s;
     report.total.recovery_s += out.recovery_s;
+    report.total.retransmit_wait_s += out.retransmit_wait_s;
     report.total.blocked_total_s += out.blocked_total_s;
   }
   return report;

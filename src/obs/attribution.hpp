@@ -9,7 +9,7 @@
 //   blocked window  =  sync_wait + mem_copy + stable_write
 //                      + storage_contention + logging        (exact, in ns)
 //   per-rank total  =  blocked windows + frozen_stall + interference
-//                      + recovery
+//                      + recovery + retransmit_wait
 //
 // stable_write is the write's uncontended service time (mesh pipeline +
 // host link + disk, empty queues); storage_contention is the rest of the
@@ -39,16 +39,22 @@ struct RankBuckets {
   /// Time this rank spent reading state back from stable storage during
   /// rollback recovery (zero in failure-free runs).
   double recovery_s = 0;
+  /// Time this rank's transport receiver sat on a sequence gap waiting for
+  /// a retransmission (zero when link faults are off). Outside the blocked
+  /// windows: the gap stalls delivery, not the application's checkpoint.
+  double retransmit_wait_s = 0;
   /// Sum of this rank's checkpoint blocking windows (== the protocol's
   /// app_blocked share; the first five buckets partition it exactly).
   double blocked_total_s = 0;
 
   [[nodiscard]] double bucket_sum_s() const noexcept {
     return sync_wait_s + mem_copy_s + stable_write_s + storage_contention_s +
-           logging_s + frozen_stall_s + interference_s + recovery_s;
+           logging_s + frozen_stall_s + interference_s + recovery_s +
+           retransmit_wait_s;
   }
   [[nodiscard]] double total_s() const noexcept {
-    return blocked_total_s + frozen_stall_s + interference_s + recovery_s;
+    return blocked_total_s + frozen_stall_s + interference_s + recovery_s +
+           retransmit_wait_s;
   }
 };
 

@@ -36,6 +36,7 @@ enum class EventKind : std::uint16_t {
   kFrozenStall,      ///< application parked at the freeze gate
   kInterference,     ///< compute slowed by background I/O; aux = extra ns
   kRecvWait,         ///< receive blocked waiting for a matching message
+  kRetransmitWait,   ///< transport reorder gap: waiting on a retransmit
   // ---- instants (dur_ns == 0) ---------------------------------------------
   kMsgSend,          ///< application send; aux = payload bytes, arg = dst
   kControlSend,      ///< protocol control message; arg = dst
@@ -46,6 +47,9 @@ enum class EventKind : std::uint16_t {
   kProcExit,         ///< DES process finished; aux = process id
   kFailure,          ///< injected node failure
   kRecoveryDone,     ///< recovery complete, applications restarted
+  kRetransmit,       ///< transport RTO expiry re-sent a frame; arg = dst
+  kRoundAbort,       ///< coordinator round watchdog aborted a round; arg = epoch
+  kTokenRegen,       ///< stagger-token watchdog regenerated the token; arg = next rank
   kMaxKind,          // sentinel
 };
 
@@ -64,6 +68,7 @@ enum class EventKind : std::uint16_t {
     case EventKind::kFrozenStall: return "frozen_stall";
     case EventKind::kInterference: return "interference";
     case EventKind::kRecvWait: return "recv_wait";
+    case EventKind::kRetransmitWait: return "retransmit_wait";
     case EventKind::kMsgSend: return "msg_send";
     case EventKind::kControlSend: return "control_send";
     case EventKind::kRoundBegin: return "round_begin";
@@ -73,6 +78,9 @@ enum class EventKind : std::uint16_t {
     case EventKind::kProcExit: return "proc_exit";
     case EventKind::kFailure: return "failure";
     case EventKind::kRecoveryDone: return "recovery_done";
+    case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kRoundAbort: return "round_abort";
+    case EventKind::kTokenRegen: return "token_regen";
     case EventKind::kMaxKind: break;
   }
   return "?";

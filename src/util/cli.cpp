@@ -51,6 +51,42 @@ double Cli::get_double(const std::string& key, double fallback) const {
   return std::strtod(it->second.c_str(), nullptr);
 }
 
+namespace {
+
+/// Full-string numeric parse; "" / "0.5x" / "nan" all fail.
+double parse_strict(const std::string& key, const std::string& text) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin || *end != '\0' || v != v) {
+    throw std::invalid_argument("--" + key + ": expected a number, got \"" + text + "\"");
+  }
+  return v;
+}
+
+}  // namespace
+
+double Cli::get_prob(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const double v = parse_strict(key, it->second);
+  if (v < 0.0 || v > 1.0) {
+    throw std::invalid_argument("--" + key + ": probability must be in [0, 1], got " +
+                                it->second);
+  }
+  return v;
+}
+
+double Cli::get_nonneg_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const double v = parse_strict(key, it->second);
+  if (v < 0.0) {
+    throw std::invalid_argument("--" + key + ": value must be >= 0, got " + it->second);
+  }
+  return v;
+}
+
 bool Cli::get_bool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;

@@ -21,6 +21,12 @@ class Cli {
   [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  /// Strict probability flag: the whole value must parse as a number in
+  /// [0, 1]. Throws std::invalid_argument naming the flag otherwise.
+  [[nodiscard]] double get_prob(const std::string& key, double fallback) const;
+  /// Strict non-negative flag: the whole value must parse as a number >= 0.
+  /// Throws std::invalid_argument naming the flag otherwise.
+  [[nodiscard]] double get_nonneg_double(const std::string& key, double fallback) const;
 
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
   [[nodiscard]] const std::string& program() const noexcept { return program_; }

@@ -389,6 +389,83 @@ TEST(SeqState, OutOfOrderConsumptionTrackedExactly) {
   EXPECT_EQ(result.reason, des::StopReason::kIdle);
 }
 
+TEST(Comm, ResetStatsZeroesEveryCounter) {
+  // Drive enough traffic through faulted links + the reliable transport to
+  // light up every statistics accessor, then verify reset_stats() clears
+  // them all — including the transport and fault-model counters.
+  Fixture f;
+  LinkFaultConfig faults;
+  faults.drop = 0.25;
+  faults.duplicate = 0.2;
+  faults.corrupt = 0.1;
+  faults.delay_prob = 0.2;
+  faults.delay_mean_s = 1e-4;
+  f.comm.set_link_faults(faults, util::Rng(99));
+  f.comm.enable_transport();
+  f.comm.send_control(0, 1, ControlMsg{ControlKind::kCkptRequest, 0, 1, 0});
+  std::vector<int> got;
+  f.sim.spawn("tx", [&](Process& self) {
+    for (int i = 0; i < 200; ++i) send_value<int>(f.comm.endpoint(0), self, 1, 1, i);
+  });
+  f.sim.spawn("rx", [&](Process& self) {
+    for (int i = 0; i < 200; ++i)
+      got.push_back(recv_value<int>(f.comm.endpoint(1), self, 0, 1));
+  });
+  const auto result = f.sim.run();
+  EXPECT_EQ(result.reason, des::StopReason::kIdle);
+  ASSERT_EQ(got.size(), 200u);  // exactly-once FIFO in spite of the weather
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+
+  EXPECT_GT(f.comm.app_messages(), 0u);
+  EXPECT_GT(f.comm.app_bytes(), 0u);
+  EXPECT_GT(f.comm.control_messages(), 0u);
+  EXPECT_GT(f.comm.control_bytes(), 0u);
+  EXPECT_GT(f.comm.retransmits(), 0u);
+  EXPECT_GT(f.comm.dups_suppressed(), 0u);
+  EXPECT_GT(f.comm.corrupt_detected(), 0u);
+  EXPECT_GT(f.comm.link_drops(), 0u);
+  EXPECT_GT(f.comm.link_duplicates(), 0u);
+  EXPECT_GT(f.comm.link_corrupted(), 0u);
+  EXPECT_GT(f.comm.link_delayed(), 0u);
+
+  f.comm.reset_stats();
+  EXPECT_EQ(f.comm.app_messages(), 0u);
+  EXPECT_EQ(f.comm.app_bytes(), 0u);
+  EXPECT_EQ(f.comm.control_messages(), 0u);
+  EXPECT_EQ(f.comm.control_bytes(), 0u);
+  EXPECT_EQ(f.comm.dropped_stale(), 0u);
+  EXPECT_EQ(f.comm.retransmits(), 0u);
+  EXPECT_EQ(f.comm.dups_suppressed(), 0u);
+  EXPECT_EQ(f.comm.corrupt_detected(), 0u);
+  EXPECT_EQ(f.comm.link_drops(), 0u);
+  EXPECT_EQ(f.comm.link_duplicates(), 0u);
+  EXPECT_EQ(f.comm.link_corrupted(), 0u);
+  EXPECT_EQ(f.comm.link_delayed(), 0u);
+}
+
+TEST(Comm, TransportPreservesFifoUnderReordering) {
+  // Delay-only faults (no loss): frames overtake each other on the wire,
+  // and the transport's sequence numbers must put them back in order.
+  Fixture f;
+  LinkFaultConfig faults;
+  faults.delay_prob = 0.5;
+  faults.delay_mean_s = 5e-4;
+  f.comm.set_link_faults(faults, util::Rng(7));
+  f.comm.enable_transport();
+  std::vector<int> got;
+  f.sim.spawn("tx", [&](Process& self) {
+    for (int i = 0; i < 100; ++i) send_value<int>(f.comm.endpoint(2), self, 6, 1, i);
+  });
+  f.sim.spawn("rx", [&](Process& self) {
+    for (int i = 0; i < 100; ++i)
+      got.push_back(recv_value<int>(f.comm.endpoint(6), self, 2, 1));
+  });
+  f.sim.run();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  EXPECT_GT(f.comm.link_delayed(), 0u);
+}
+
 TEST(Comm, DeterministicByteTotals) {
   auto run_once = [] {
     Fixture f;

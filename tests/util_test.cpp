@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/cli.hpp"
@@ -163,6 +165,43 @@ TEST(Cli, FallbacksWhenAbsent) {
   EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
   EXPECT_EQ(cli.get_int("missing", 7), 7);
   EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, StrictProbabilityAcceptsTheValidRange) {
+  const char* argv[] = {"prog", "--p0=0", "--p1=1", "--mid=0.25"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_prob("p0", 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cli.get_prob("p1", 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(cli.get_prob("mid", 0.5), 0.25);
+  EXPECT_DOUBLE_EQ(cli.get_prob("missing", 0.5), 0.5);
+}
+
+TEST(Cli, StrictProbabilityRejectsOutOfRangeAndGarbage) {
+  const char* argv[] = {"prog", "--loss=1.5", "--dup=-0.1", "--junk=0.5x",
+                        "--empty=",  "--word=lots", "--nan=nan"};
+  Cli cli(7, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_prob("loss", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_prob("dup", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_prob("junk", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_prob("empty", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_prob("word", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_prob("nan", 0), std::invalid_argument);
+  // The error names the offending flag so the user can fix the right one.
+  try {
+    (void)cli.get_prob("loss", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("--loss"), std::string::npos);
+  }
+}
+
+TEST(Cli, StrictNonNegativeRejectsNegativesAndGarbage) {
+  const char* argv[] = {"prog", "--mean=0.002", "--neg=-1", "--junk=abc"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_nonneg_double("mean", 1), 0.002);
+  EXPECT_DOUBLE_EQ(cli.get_nonneg_double("missing", 3.5), 3.5);
+  EXPECT_THROW((void)cli.get_nonneg_double("neg", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_nonneg_double("junk", 0), std::invalid_argument);
 }
 
 }  // namespace
