@@ -14,6 +14,7 @@
 //              [--intervals=5] [--seed=2026] [--campaign-seed=1]
 //              [--link-loss=0] [--link-dup=0] [--link-corrupt=0]
 //              [--link-delay=0] [--link-delay-mean=0.001] [--transport]
+//              [--io-error=0] [--io-degrade=1] [--bitrot=0] [--keep-depth=0]
 //              [--json-out=BENCH_campaign.json] [--quick]
 //
 // --intervals sets the checkpoint interval to normal_exec/intervals;
@@ -21,10 +22,15 @@
 // right setting when failures extend the run). --link-loss/--link-dup/
 // --link-corrupt/--link-delay add per-frame link faults on top of the
 // failure process; the reliable FIFO transport repairs them (disable it
-// with --no-transport to expose the raw loss). --quick shrinks the sweep
-// for smoke testing (1 app, 2 MTBF points, 2 runs). Every run verifies the
-// application digest against the failure-free baseline; the output is
-// byte-identical across repeats with the same seeds.
+// with --no-transport to expose the raw loss). --io-error/--io-degrade/
+// --bitrot make the stable storage itself unreliable (transient write/read
+// I/O errors, degraded-throughput windows, silent image corruption); the
+// retrying storage client and verified multi-generation recovery absorb
+// them, with --keep-depth (0 = auto) controlling how many generations
+// retention keeps per rank. --quick shrinks the sweep for smoke testing
+// (1 app, 2 MTBF points, 2 runs). Every run verifies the application
+// digest against the failure-free baseline; the output is byte-identical
+// across repeats with the same seeds.
 #include <cstdio>
 #include <future>
 #include <map>
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
   const auto campaign_seed =
       static_cast<std::uint64_t>(cli.get_int("campaign-seed", 1));
   chklib::LinkFaultConfig link_faults;
+  xplorer::StorageFaultConfig storage_faults;
+  std::uint32_t keep_depth = 0;
   try {
     link_faults.drop = cli.get_prob("link-loss", 0.0);
     link_faults.duplicate = cli.get_prob("link-dup", 0.0);
@@ -101,6 +109,15 @@ int main(int argc, char** argv) {
     link_faults.delay_prob = cli.get_prob("link-delay", 0.0);
     link_faults.delay_mean_s = cli.get_nonneg_double("link-delay-mean", 1e-3);
     link_faults.validate();
+    const double io_error = cli.get_prob("io-error", 0.0);
+    storage_faults.write_error = io_error;
+    storage_faults.read_error = io_error;
+    storage_faults.bitrot = cli.get_prob("bitrot", 0.0);
+    storage_faults.degrade_factor = cli.get_nonneg_double("io-degrade", 1.0);
+    storage_faults.validate();
+    const long depth = cli.get_int("keep-depth", 0);
+    if (depth < 0) throw std::invalid_argument("--keep-depth must be >= 0");
+    keep_depth = static_cast<std::uint32_t>(depth);
   } catch (const std::invalid_argument& err) {
     std::fprintf(stderr, "campaign: %s\n", err.what());
     return 2;
@@ -163,6 +180,8 @@ int main(int argc, char** argv) {
         config.link_faults = link_faults;
         config.reliable_transport = transport;
       }
+      if (storage_faults.enabled()) config.storage_faults = storage_faults;
+      config.keep_depth = keep_depth;
       pending.push_back(std::async(std::launch::async, [config] {
         return faultsim::run_campaign(config);
       }));
@@ -219,6 +238,10 @@ int main(int argc, char** argv) {
   doc.set("link_corrupt", Value::number(link_faults.corrupt));
   doc.set("link_delay", Value::number(link_faults.delay_prob));
   doc.set("reliable_transport", Value::boolean(transport));
+  doc.set("io_error", Value::number(storage_faults.write_error));
+  doc.set("io_degrade", Value::number(storage_faults.degrade_factor));
+  doc.set("bitrot", Value::number(storage_faults.bitrot));
+  doc.set("keep_depth", Value::number(std::uint64_t{keep_depth}));
   doc.set("all_verified", Value::boolean(all_verified));
   Value row_array = Value::array();
   cell_index = 0;

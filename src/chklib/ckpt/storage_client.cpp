@@ -1,0 +1,95 @@
+#include "chklib/ckpt/storage_client.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace chk::chklib {
+
+void RetryPolicy::validate() const {
+  if (max_attempts == 0) {
+    throw std::invalid_argument("storage retry: max_attempts must be >= 1");
+  }
+  if (!(multiplier >= 1.0)) {
+    throw std::invalid_argument("storage retry: backoff multiplier must be >= 1, got " +
+                                std::to_string(multiplier));
+  }
+  if (initial_backoff < des::Duration::zero() || deadline < des::Duration::zero()) {
+    throw std::invalid_argument("storage retry: backoff and deadline must be non-negative");
+  }
+}
+
+void StorageClient::set_policy(const RetryPolicy& policy) {
+  policy.validate();
+  policy_ = policy;
+}
+
+bool StorageClient::backoff(des::Process& self, Rank rank, std::uint32_t attempt,
+                            des::TimePoint started, bool app_blocking) {
+  des::Duration wait = policy_.initial_backoff;
+  for (std::uint32_t i = 1; i < attempt; ++i) wait = wait.scaled(policy_.multiplier);
+  const des::TimePoint now = self.sim().now();
+  if (policy_.deadline != des::Duration::max() &&
+      (now - started) + wait > policy_.deadline) {
+    return false;
+  }
+  const std::int64_t t0 = now.to_nanos();
+  self.delay(wait);
+  retry_wait_ = retry_wait_ + wait;
+  if (tracer_ != nullptr) {
+    tracer_->span(obs::EventKind::kStorageRetryWait, static_cast<std::uint16_t>(rank), t0,
+                  self.sim().now().to_nanos(), 0, app_blocking ? 1u : 0u);
+  }
+  return true;
+}
+
+xplorer::IoStatus StorageClient::write_blocking(des::Process& self, Rank rank,
+                                                const std::string& key,
+                                                std::vector<std::byte> blob,
+                                                obs::EventKind kind, std::uint32_t arg,
+                                                bool app_blocking) {
+  const des::TimePoint started = self.sim().now();
+  const std::size_t bytes = blob.size();
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    const std::int64_t t0 = self.sim().now().to_nanos();
+    // Each attempt pays the full pipeline; the blob is copied so a retry
+    // still has it.
+    const xplorer::IoStatus status =
+        storage_->write_blocking(self, rank, key, blob);
+    if (tracer_ != nullptr) {
+      const auto pure = storage_->pure_write_time(rank, bytes);
+      tracer_->span(kind, static_cast<std::uint16_t>(rank), t0,
+                    self.sim().now().to_nanos(),
+                    static_cast<std::uint64_t>(pure.to_nanos()), arg);
+    }
+    if (status == xplorer::IoStatus::kOk) return status;
+    if (attempt >= policy_.max_attempts || !backoff(self, rank, attempt, started, app_blocking)) {
+      ++write_failures_;
+      return xplorer::IoStatus::kIoError;
+    }
+    ++retries_;
+  }
+}
+
+xplorer::IoStatus StorageClient::read_blocking(des::Process& self, Rank rank,
+                                               const std::string& key,
+                                               std::vector<std::byte>* out) {
+  const des::TimePoint started = self.sim().now();
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    xplorer::IoStatus status = xplorer::IoStatus::kOk;
+    auto blob = storage_->read_blocking(self, rank, key, &status);
+    if (status == xplorer::IoStatus::kOk) {
+      if (out != nullptr) *out = std::move(blob);
+      return status;
+    }
+    if (attempt >= policy_.max_attempts ||
+        !backoff(self, rank, attempt, started, /*app_blocking=*/false)) {
+      ++read_failures_;
+      if (out != nullptr) out->clear();
+      return xplorer::IoStatus::kIoError;
+    }
+    ++retries_;
+  }
+}
+
+}  // namespace chk::chklib

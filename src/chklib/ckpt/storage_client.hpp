@@ -1,0 +1,96 @@
+// Retrying stable-storage client.
+//
+// Transient I/O errors (IoStatus::kIoError from the StableStorage fault
+// model) are the storage tier's own fault domain; this client is the one
+// door every protocol and the recovery manager go through, so the retry
+// policy lives in exactly one place. A failed attempt is retried after an
+// exponentially growing backoff until the attempt budget or the deadline
+// runs out, at which point the terminal error is surfaced to the caller —
+// the protocols decide what a permanently lost write means (abort the
+// round, skip the interval), the client never hides one.
+//
+// Each attempt emits its own traced span (the caller's event kind, aux =
+// uncontended write time) and each backoff sleep emits a
+// kStorageRetryWait span, so the overhead attribution can split "writing"
+// from "waiting to retry" exactly. Fault-free runs take a single attempt
+// with zero extra simulator events — bit-identical to the pre-client path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chklib/comm/envelope.hpp"
+#include "des/process.hpp"
+#include "des/time.hpp"
+#include "obs/tracer.hpp"
+#include "xplorer/storage.hpp"
+
+namespace chk::chklib {
+
+struct RetryPolicy {
+  /// Total tries per operation (first attempt included). Must be >= 1.
+  std::uint32_t max_attempts = 4;
+  /// Backoff before retry k is initial * multiplier^(k-1).
+  des::Duration initial_backoff = des::Duration::millis(50);
+  double multiplier = 2.0;
+  /// Give up once this much time has elapsed since the operation started,
+  /// even with attempts left. Duration::max() = no deadline.
+  des::Duration deadline = des::Duration::secs(30);
+
+  /// Throws std::invalid_argument on a zero attempt budget, a multiplier
+  /// below 1 or negative durations.
+  void validate() const;
+};
+
+class StorageClient {
+ public:
+  explicit StorageClient(xplorer::StableStorage& storage) : storage_(&storage) {}
+  StorageClient(const StorageClient&) = delete;
+  StorageClient& operator=(const StorageClient&) = delete;
+
+  void set_policy(const RetryPolicy& policy);
+  [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Blocking write with bounded retries. Emits one `kind` span per
+  /// attempt (arg = `arg`); backoff sleeps emit kStorageRetryWait spans
+  /// with arg = 1 when `app_blocking` (so attribution charges them to the
+  /// blocked window) and 0 otherwise.
+  xplorer::IoStatus write_blocking(des::Process& self, Rank rank, const std::string& key,
+                                   std::vector<std::byte> blob, obs::EventKind kind,
+                                   std::uint32_t arg, bool app_blocking);
+
+  /// Blocking read with bounded retries. A missing key is not an error:
+  /// it returns kOk with an empty blob. Retry sleeps emit
+  /// kStorageRetryWait spans with arg = 0 (recovery time is charged
+  /// through the caller's enclosing kRecoveryRead span).
+  xplorer::IoStatus read_blocking(des::Process& self, Rank rank, const std::string& key,
+                                  std::vector<std::byte>* out);
+
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::uint64_t write_failures() const noexcept { return write_failures_; }
+  [[nodiscard]] std::uint64_t read_failures() const noexcept { return read_failures_; }
+  /// Total simulated time spent in backoff sleeps.
+  [[nodiscard]] des::Duration retry_wait() const noexcept { return retry_wait_; }
+  void reset_stats() noexcept {
+    retries_ = write_failures_ = read_failures_ = 0;
+    retry_wait_ = des::Duration::zero();
+  }
+
+ private:
+  /// Sleep out the backoff for retry `attempt` (1-based); returns false if
+  /// the deadline would already be exceeded.
+  bool backoff(des::Process& self, Rank rank, std::uint32_t attempt,
+               des::TimePoint started, bool app_blocking);
+
+  xplorer::StableStorage* storage_;
+  RetryPolicy policy_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint64_t retries_ = 0;
+  std::uint64_t write_failures_ = 0;
+  std::uint64_t read_failures_ = 0;
+  des::Duration retry_wait_ = des::Duration::zero();
+};
+
+}  // namespace chk::chklib

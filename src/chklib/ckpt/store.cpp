@@ -13,80 +13,125 @@ std::string CheckpointStore::log_key(Rank rank, std::uint32_t index) {
 }
 
 void CheckpointStore::write_image(Rank rank, const CheckpointImage& image,
-                                  std::function<void()> on_durable) {
+                                  std::function<void(xplorer::IoStatus)> on_done) {
   const std::uint32_t index = image.index;
   if (observer_ != nullptr) observer_->on_image_write_begin(rank, index);
   storage_->write(rank, image_key(rank, index), image.serialize(),
-                  [this, rank, index, on_durable = std::move(on_durable)] {
+                  [this, rank, index, on_done = std::move(on_done)](xplorer::IoStatus s) {
                     if (observer_ != nullptr) observer_->on_image_write_end(rank, index);
-                    if (on_durable) on_durable();
+                    if (on_done) on_done(s);
                   });
 }
 
-void CheckpointStore::trace_write(des::Process& self, obs::EventKind kind, Rank rank,
-                                  std::int64_t t0_ns, std::size_t bytes,
-                                  std::uint32_t arg) const {
-  if (tracer_ == nullptr) return;
-  const auto pure = storage_->pure_write_time(rank, bytes);
-  tracer_->span(kind, static_cast<std::uint16_t>(rank), t0_ns, self.sim().now().to_nanos(),
-                static_cast<std::uint64_t>(pure.to_nanos()), arg);
-}
-
-void CheckpointStore::write_image_blocking(des::Process& self, Rank rank,
-                                           const CheckpointImage& image,
-                                           WriteContext context) {
+xplorer::IoStatus CheckpointStore::write_image_blocking(des::Process& self, Rank rank,
+                                                        const CheckpointImage& image,
+                                                        WriteContext context) {
+  // The observer brackets the whole operation, retries included: the
+  // stagger invariant is about the rank occupying the write pipeline,
+  // which it does for every attempt.
   if (observer_ != nullptr) observer_->on_image_write_begin(rank, image.index);
-  auto blob = image.serialize();
-  const std::size_t bytes = blob.size();
-  const std::int64_t t0 = self.sim().now().to_nanos();
-  storage_->write_blocking(self, rank, image_key(rank, image.index), std::move(blob));
-  trace_write(self, obs::EventKind::kStableWrite, rank, t0, bytes,
-              static_cast<std::uint32_t>(context));
+  const xplorer::IoStatus status = client_.write_blocking(
+      self, rank, image_key(rank, image.index), image.serialize(),
+      obs::EventKind::kStableWrite, static_cast<std::uint32_t>(context),
+      context == WriteContext::kAppBlocking);
   if (observer_ != nullptr) observer_->on_image_write_end(rank, image.index);
+  return status;
 }
 
-void CheckpointStore::write_log_blocking(des::Process& self, Rank rank, std::uint32_t index,
-                                         const ChannelLog& log, WriteContext context) {
-  auto blob = log.serialize();
-  const std::size_t bytes = blob.size();
-  const std::int64_t t0 = self.sim().now().to_nanos();
-  storage_->write_blocking(self, rank, log_key(rank, index), std::move(blob));
-  trace_write(self, obs::EventKind::kLogWrite, rank, t0, bytes,
-              static_cast<std::uint32_t>(context));
+xplorer::IoStatus CheckpointStore::write_log_blocking(des::Process& self, Rank rank,
+                                                      std::uint32_t index,
+                                                      const ChannelLog& log,
+                                                      WriteContext context) {
+  return client_.write_blocking(self, rank, log_key(rank, index), log.serialize(),
+                                obs::EventKind::kLogWrite,
+                                static_cast<std::uint32_t>(context),
+                                context == WriteContext::kAppBlocking);
 }
 
-void CheckpointStore::write_commit_blocking(des::Process& self, Rank coordinator_node,
-                                            std::uint32_t epoch) {
+xplorer::IoStatus CheckpointStore::write_commit_blocking(des::Process& self,
+                                                         Rank coordinator_node,
+                                                         std::uint32_t epoch) {
   util::ByteWriter writer;
   writer.put(epoch);
   writer.put<std::uint32_t>(~epoch);  // trivial integrity check
-  auto blob = writer.take();
-  const std::size_t bytes = blob.size();
-  const std::int64_t t0 = self.sim().now().to_nanos();
-  storage_->write_blocking(self, coordinator_node, "ckpt/commit", std::move(blob));
-  trace_write(self, obs::EventKind::kCommitWrite, coordinator_node, t0, bytes, epoch);
-  committed_epoch_ = epoch;
+  const xplorer::IoStatus status = client_.write_blocking(
+      self, coordinator_node, "ckpt/commit", writer.take(),
+      obs::EventKind::kCommitWrite, epoch, /*app_blocking=*/false);
+  if (status == xplorer::IoStatus::kOk) committed_epoch_ = epoch;
+  return status;
 }
 
 CheckpointImage CheckpointStore::load_image_blocking(des::Process& self, Rank reader,
                                                      std::uint32_t index,
                                                      std::uint64_t* blob_bytes) {
   const std::int64_t t0 = self.sim().now().to_nanos();
-  const auto blob = storage_->read_blocking(self, reader, image_key(reader, index));
+  std::vector<std::byte> blob;
+  const xplorer::IoStatus status =
+      client_.read_blocking(self, reader, image_key(reader, index), &blob);
   if (blob_bytes != nullptr) *blob_bytes = blob.size();
   if (tracer_ != nullptr) {
     tracer_->span(obs::EventKind::kRecoveryRead, static_cast<std::uint16_t>(reader), t0,
                   self.sim().now().to_nanos(), blob.size());
   }
+  if (status != xplorer::IoStatus::kOk) {
+    throw util::SerializeError(
+        util::format("load_image: terminal read error on {}", image_key(reader, index)));
+  }
   return CheckpointImage::deserialize(blob);
+}
+
+std::optional<CheckpointImage> CheckpointStore::try_load_image_blocking(
+    des::Process& self, Rank reader, std::uint32_t index, std::uint64_t* blob_bytes) {
+  const std::int64_t t0 = self.sim().now().to_nanos();
+  std::vector<std::byte> blob;
+  const xplorer::IoStatus status =
+      client_.read_blocking(self, reader, image_key(reader, index), &blob);
+  // The read is charged whether or not it restores anything: a failed or
+  // corrupt read still moved (up to) blob.size() bytes through the disk.
+  if (blob_bytes != nullptr) *blob_bytes = blob.size();
+  if (tracer_ != nullptr) {
+    tracer_->span(obs::EventKind::kRecoveryRead, static_cast<std::uint16_t>(reader), t0,
+                  self.sim().now().to_nanos(), blob.size());
+  }
+  if (status != xplorer::IoStatus::kOk) return std::nullopt;
+  try {
+    return CheckpointImage::deserialize(blob);
+  } catch (const util::SerializeError&) {
+    return std::nullopt;
+  }
 }
 
 std::optional<ChannelLog> CheckpointStore::load_log_blocking(des::Process& self, Rank reader,
                                                              std::uint32_t index) {
   const std::string key = log_key(reader, index);
   if (!storage_->exists(key)) return std::nullopt;
-  const auto blob = storage_->read_blocking(self, reader, key);
+  std::vector<std::byte> blob;
+  const xplorer::IoStatus status = client_.read_blocking(self, reader, key, &blob);
+  if (status != xplorer::IoStatus::kOk) {
+    throw util::SerializeError(util::format("load_log: terminal read error on {}", key));
+  }
   return ChannelLog::deserialize(blob);
+}
+
+std::optional<ChannelLog> CheckpointStore::try_load_log_blocking(des::Process& self,
+                                                                 Rank reader,
+                                                                 std::uint32_t index,
+                                                                 bool* failed) {
+  if (failed != nullptr) *failed = false;
+  const std::string key = log_key(reader, index);
+  if (!storage_->exists(key)) return std::nullopt;
+  std::vector<std::byte> blob;
+  const xplorer::IoStatus status = client_.read_blocking(self, reader, key, &blob);
+  if (status != xplorer::IoStatus::kOk) {
+    if (failed != nullptr) *failed = true;
+    return std::nullopt;
+  }
+  try {
+    return ChannelLog::deserialize(blob);
+  } catch (const util::SerializeError&) {
+    if (failed != nullptr) *failed = true;
+    return std::nullopt;
+  }
 }
 
 bool CheckpointStore::has_image(Rank rank, std::uint32_t index) const {
@@ -115,6 +160,17 @@ CheckpointImage CheckpointStore::peek_image(Rank rank, std::uint32_t index) cons
   // check through read path? The store keeps it simple: the blob is fetched
   // via the storage's internal map using a zero-time accessor.
   return CheckpointImage::deserialize(storage_->peek(key));
+}
+
+std::optional<CheckpointImage> CheckpointStore::try_peek_image(Rank rank,
+                                                               std::uint32_t index) const {
+  const std::string key = image_key(rank, index);
+  if (!storage_->exists(key)) return std::nullopt;
+  try {
+    return CheckpointImage::deserialize(storage_->peek(key));
+  } catch (const util::SerializeError&) {
+    return std::nullopt;
+  }
 }
 
 void CheckpointStore::erase(Rank rank, std::uint32_t index) {

@@ -5,10 +5,12 @@
 //         ckpt/p{rank}/v{index:08}.log    channel log (coordinated)
 //         ckpt/commit                     last globally committed epoch
 //
-// Writes go through StableStorage and are therefore fully timed (network +
-// host link + disk with contention). Metadata queries (listing, sizes) are
-// free, matching the paper-era systems where the recovery manager scans a
-// directory.
+// Writes go through the retrying StorageClient and are therefore fully
+// timed (network + host link + disk with contention, plus retry backoff
+// when the storage misbehaves). Every blocking operation reports its
+// terminal IoStatus so the protocols can react to a permanently failed
+// write. Metadata queries (listing, sizes) are free, matching the
+// paper-era systems where the recovery manager scans a directory.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "chklib/ckpt/image.hpp"
+#include "chklib/ckpt/storage_client.hpp"
 #include "chklib/comm/observer.hpp"
 #include "des/process.hpp"
 #include "obs/tracer.hpp"
@@ -32,7 +35,8 @@ enum class WriteContext : std::uint32_t { kBackground = 0, kAppBlocking = 1 };
 
 class CheckpointStore {
  public:
-  explicit CheckpointStore(xplorer::StableStorage& storage) : storage_(&storage) {}
+  explicit CheckpointStore(xplorer::StableStorage& storage)
+      : storage_(&storage), client_(storage) {}
   CheckpointStore(const CheckpointStore&) = delete;
   CheckpointStore& operator=(const CheckpointStore&) = delete;
 
@@ -43,50 +47,84 @@ class CheckpointStore {
   void set_observer(InvariantObserver* observer) noexcept { observer_ = observer; }
   [[nodiscard]] InvariantObserver* observer() const noexcept { return observer_; }
 
-  /// Timed write of a serialized image from `rank`'s node; on_durable runs
-  /// when the bytes are on disk.
-  void write_image(Rank rank, const CheckpointImage& image, std::function<void()> on_durable);
-  void write_image_blocking(des::Process& self, Rank rank, const CheckpointImage& image,
-                            WriteContext context = WriteContext::kBackground);
+  /// Timed write of a serialized image from `rank`'s node; on_done runs
+  /// when the bytes are on disk (or the single attempt failed — the async
+  /// path has no process context to back off in, so it does not retry).
+  void write_image(Rank rank, const CheckpointImage& image,
+                   std::function<void(xplorer::IoStatus)> on_done);
+  /// Blocking write with bounded retries; kIoError is terminal.
+  xplorer::IoStatus write_image_blocking(des::Process& self, Rank rank,
+                                         const CheckpointImage& image,
+                                         WriteContext context = WriteContext::kBackground);
 
-  void write_log_blocking(des::Process& self, Rank rank, std::uint32_t index,
-                          const ChannelLog& log,
-                          WriteContext context = WriteContext::kBackground);
+  xplorer::IoStatus write_log_blocking(des::Process& self, Rank rank, std::uint32_t index,
+                                       const ChannelLog& log,
+                                       WriteContext context = WriteContext::kBackground);
 
-  /// Timed write of the global commit record (coordinator's node).
-  void write_commit_blocking(des::Process& self, Rank coordinator_node, std::uint32_t epoch);
+  /// Timed write of the global commit record (coordinator's node). The
+  /// committed epoch only advances when the write achieved durability.
+  xplorer::IoStatus write_commit_blocking(des::Process& self, Rank coordinator_node,
+                                          std::uint32_t epoch);
 
   /// Timed reads (recovery path). `blob_bytes`, when non-null, receives the
   /// serialized size actually transferred from the disk — the number
-  /// recovery accounting charges as bytes read.
+  /// recovery accounting charges as bytes read. Throws util::SerializeError
+  /// on terminal read failure or a corrupt blob; recovery paths that must
+  /// survive those use try_load_image_blocking.
   [[nodiscard]] CheckpointImage load_image_blocking(des::Process& self, Rank reader,
                                                     std::uint32_t index,
                                                     std::uint64_t* blob_bytes = nullptr);
+  /// Like load_image_blocking but corruption- and error-tolerant: returns
+  /// nullopt when the image cannot be restored (terminal read error after
+  /// retries, or checksum mismatch from bit-rot). Bytes transferred are
+  /// still reported — failed reads did real work.
+  [[nodiscard]] std::optional<CheckpointImage> try_load_image_blocking(
+      des::Process& self, Rank reader, std::uint32_t index,
+      std::uint64_t* blob_bytes = nullptr);
   [[nodiscard]] std::optional<ChannelLog> load_log_blocking(des::Process& self, Rank reader,
                                                             std::uint32_t index);
+  /// Error-tolerant log load: nullopt with *failed == false means no log
+  /// was stored (normal); *failed == true means a log exists but cannot be
+  /// restored — the generation is unusable for a consistent replay.
+  [[nodiscard]] std::optional<ChannelLog> try_load_log_blocking(des::Process& self,
+                                                                Rank reader,
+                                                                std::uint32_t index,
+                                                                bool* failed);
 
   // -- metadata (free) -------------------------------------------------------
   [[nodiscard]] std::uint32_t committed_epoch() const noexcept { return committed_epoch_; }
   [[nodiscard]] bool has_image(Rank rank, std::uint32_t index) const;
   [[nodiscard]] std::vector<std::uint32_t> saved_indices(Rank rank) const;
   /// Peek image metadata without timed I/O (recovery-line computation scans
-  /// dependency records; modelled as free directory metadata).
+  /// dependency records; modelled as free directory metadata). Throws on a
+  /// corrupt blob — planning paths use try_peek_image.
   [[nodiscard]] CheckpointImage peek_image(Rank rank, std::uint32_t index) const;
+  /// Checksum-tolerant peek: nullopt when the image is missing or fails
+  /// its CHK2 verification (bit-rot).
+  [[nodiscard]] std::optional<CheckpointImage> try_peek_image(Rank rank,
+                                                             std::uint32_t index) const;
+  /// True when the image exists and its checksum verifies (free check —
+  /// the GC precondition before pruning an older generation).
+  [[nodiscard]] bool verify_image(Rank rank, std::uint32_t index) const {
+    return try_peek_image(rank, index).has_value();
+  }
   void erase(Rank rank, std::uint32_t index);
   [[nodiscard]] std::uint64_t bytes_for(Rank rank) const;
   [[nodiscard]] std::uint64_t total_checkpoint_bytes() const;
   [[nodiscard]] std::size_t checkpoint_count() const;
 
   [[nodiscard]] xplorer::StableStorage& storage() noexcept { return *storage_; }
+  [[nodiscard]] StorageClient& client() noexcept { return client_; }
+  void set_retry_policy(const RetryPolicy& policy) { client_.set_policy(policy); }
 
-  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    client_.set_tracer(tracer);
+  }
 
  private:
-  /// Emit a storage span [t0, now] with aux = the uncontended write time.
-  void trace_write(des::Process& self, obs::EventKind kind, Rank rank, std::int64_t t0_ns,
-                   std::size_t bytes, std::uint32_t arg) const;
-
   xplorer::StableStorage* storage_;
+  StorageClient client_;
   InvariantObserver* observer_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t committed_epoch_ = 0;  ///< epoch 0 = initial state, implicit

@@ -94,13 +94,39 @@ void CoordinatedProtocol::on_round_timeout(std::uint32_t epoch) {
   }
   token_watchdog_.cancel();
   round_in_progress_ = false;
-  if (is_staggered(cfg_.scheme) && !is_buffered(cfg_.scheme) && grant_held_) {
-    // A lost Coord_NBS write grant leaves its holder's application blocked
-    // in the acquire forever; re-issue it. If the original did arrive, the
-    // holder's epoch dedup drops this copy harmlessly.
-    rt_->comm().send_control(
-        cfg_.coordinator, grant_holder_,
-        ControlMsg{ControlKind::kToken, cfg_.coordinator, grant_epoch_, 0});
+  if (is_staggered(cfg_.scheme) && !is_buffered(cfg_.scheme)) {
+    if (grant_held_ && acked_.empty() &&
+        (!stall_valid_ || stall_holder_ == grant_holder_)) {
+      stall_valid_ = true;
+      stall_holder_ = grant_holder_;
+      if (++fruitless_rounds_ >= kGrantStallLimit) {
+        // The write grant has been parked at the same holder through
+        // kGrantStallLimit consecutive rounds that produced zero acks:
+        // the holder's grant-release was lost on the raw links and no
+        // watchdog can regenerate it (a release is not re-requestable the
+        // way a grant is). Fail fast with the cure instead of live-locking
+        // through endless aborts.
+        throw des::SimError(util::format(
+            "Coord_NBS: write grant stuck at rank {} for {} consecutive "
+            "aborted rounds with no acks — a grant-release was lost on the "
+            "raw links, which Coord_NBS cannot recover without the "
+            "reliable transport. Enable the reliable transport "
+            "(reliable_transport=true / omit --no-transport) or use "
+            "Coord_NBMS over lossy links.",
+            grant_holder_, fruitless_rounds_));
+      }
+    } else {
+      fruitless_rounds_ = 0;
+      stall_valid_ = false;
+    }
+    if (grant_held_) {
+      // A lost Coord_NBS write grant leaves its holder's application
+      // blocked in the acquire forever; re-issue it. If the original did
+      // arrive, the holder's epoch dedup drops this copy harmlessly.
+      rt_->comm().send_control(
+          cfg_.coordinator, grant_holder_,
+          ControlMsg{ControlKind::kToken, cfg_.coordinator, grant_epoch_, 0});
+    }
   }
   begin_round(epoch + 1);
 }
@@ -219,8 +245,28 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
       if (acked_.size() == rt_->num_ranks()) {
         round_watchdog_.cancel();
         token_watchdog_.cancel();
+        fruitless_rounds_ = 0;
+        stall_valid_ = false;
         // Phase 2: make the global checkpoint permanent, then tell everyone.
-        rt_->store().write_commit_blocking(self, cfg_.coordinator, round_epoch_);
+        if (rt_->store().write_commit_blocking(self, cfg_.coordinator, round_epoch_) !=
+            xplorer::IoStatus::kOk) {
+          // The commit record never achieved durability: epoch e stays
+          // tentative (the committed epoch did not advance). Abort the
+          // round and re-initiate at a higher epoch — the same path the
+          // round watchdog takes.
+          ++stats_.commit_write_failures;
+          ++stats_.aborted_rounds;
+          CHK_DEBUG("coord", "commit write for epoch {} failed terminally at {}; "
+                    "re-initiating", round_epoch_, rt_->sim().now().str());
+          if (auto* tracer = rt_->tracer()) {
+            tracer->instant(obs::EventKind::kRoundAbort,
+                            static_cast<std::uint16_t>(cfg_.coordinator),
+                            rt_->sim().now().to_nanos(), 0, round_epoch_);
+          }
+          round_in_progress_ = false;
+          begin_round(round_epoch_ + 1);
+          break;
+        }
         ++stats_.committed_rounds;
         CHK_DEBUG("coord", "epoch {} committed at {}", round_epoch_, rt_->sim().now().str());
         if (auto* tracer = rt_->tracer()) {
@@ -342,13 +388,22 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
                                ControlMsg{ControlKind::kTokenRequest, r, epoch, 0});
       agent.token.acquire(carrier);
     }
-    rt_->store().write_image_blocking(carrier, r, image, WriteContext::kAppBlocking);
+    const xplorer::IoStatus wstatus =
+        rt_->store().write_image_blocking(carrier, r, image, WriteContext::kAppBlocking);
     if (is_staggered(cfg_.scheme)) {
       rt_->comm().send_control(r, cfg_.coordinator,
                                ControlMsg{ControlKind::kTokenRelease, r, epoch, 0});
     }
-    agent.durable = true;
-    try_finish(r, carrier, WriteContext::kAppBlocking);
+    if (wstatus == xplorer::IoStatus::kOk) {
+      agent.durable = true;
+      try_finish(r, carrier, WriteContext::kAppBlocking);
+    } else {
+      // Terminal write failure: this rank never becomes durable, never
+      // acks, and the round watchdog aborts the round — the retry loop at
+      // the next epoch re-captures everything.
+      ++stats_.ckpt_write_failures;
+      CHK_DEBUG("coord", "rank {} image write for epoch {} failed terminally", r, epoch);
+    }
     stats_.app_blocked += rt_->sim().now() - block_start;
     if (auto* tracer = rt_->tracer()) {
       tracer->span(obs::EventKind::kCkptWindow, static_cast<std::uint16_t>(r),
@@ -372,8 +427,10 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
         if (is_staggered(cfg_.scheme)) a.token.acquire(self);
         xplorer::Node& node = rt_->machine().node(r);
         node.begin_background_io();
-        rt_->store().write_image_blocking(self, r, image);
+        const xplorer::IoStatus wstatus = rt_->store().write_image_blocking(self, r, image);
         node.end_background_io();
+        // The stagger ring keeps moving even past a failed write — the
+        // token arbitrates pipeline occupancy, not success.
         if (is_staggered(cfg_.scheme) && r + 1 < rt_->num_ranks()) {
           rt_->comm().send_control(r, r + 1,
                                    ControlMsg{ControlKind::kToken, r, image.index, 0});
@@ -383,8 +440,14 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
               r, cfg_.coordinator,
               ControlMsg{ControlKind::kTokenBeacon, r, image.index, 0});
         }
-        a.durable = true;
-        try_finish(r, self);
+        if (wstatus == xplorer::IoStatus::kOk) {
+          a.durable = true;
+          try_finish(r, self);
+        } else {
+          ++stats_.ckpt_write_failures;
+          CHK_DEBUG("coord", "rank {} background image write for epoch {} failed terminally",
+                    r, image.index);
+        }
       }));
 }
 
@@ -400,26 +463,60 @@ void CoordinatedProtocol::try_finish(Rank r, des::Process& proc, WriteContext lo
   agent.finishing = true;
   agent.logging = false;
   if (!agent.log.messages.empty()) {
-    rt_->store().write_log_blocking(proc, r, agent.epoch, agent.log, log_ctx);
+    if (rt_->store().write_log_blocking(proc, r, agent.epoch, agent.log, log_ctx) !=
+        xplorer::IoStatus::kOk) {
+      // Without a durable channel log the cut is not consistent; withhold
+      // the ack so the round watchdog aborts and re-initiates.
+      ++stats_.ckpt_write_failures;
+      agent.finishing = false;
+      agent.logging = true;
+      CHK_DEBUG("coord", "rank {} log write for epoch {} failed terminally", r, agent.epoch);
+      return;
+    }
   }
   rt_->comm().send_control(r, cfg_.coordinator,
                            ControlMsg{ControlKind::kCkptAck, r, agent.epoch, 0});
 }
 
 void CoordinatedProtocol::handle_commit(Rank r, std::uint32_t epoch) {
-  // Constant storage footprint: everything older than the committed
-  // checkpoint's delta chain is obsolete. Without incremental mode the
-  // chain is the single image itself.
-  std::uint32_t chain_start = epoch;
-  if (cfg_.incremental) {
-    while (chain_start != 0 && rt_->store().has_image(r, chain_start)) {
-      const std::uint32_t base = rt_->store().peek_image(r, chain_start).delta_base;
-      if (base == 0) break;
-      chain_start = base;
+  // Bounded storage footprint: everything older than the delta chains of
+  // the newest keep_depth committed generations is obsolete. Without
+  // incremental mode a chain is the single image itself.
+  Agent& agent = *agents_[r];
+  if (!agent.commit_history.empty() && agent.commit_history.back() >= epoch) {
+    return;  // duplicate commit broadcast (lossy raw links)
+  }
+  agent.commit_history.push_back(epoch);
+  // Prune only when the just-committed generation verifies here: a rotted
+  // newest image must not retire the older generation recovery would fall
+  // back to. (The image may legitimately be a delta; verification checks
+  // the blob checksum, not the chain.)
+  if (!rt_->store().verify_image(r, epoch)) {
+    CHK_DEBUG("coord", "rank {} epoch {} image fails verification; GC skipped", r, epoch);
+    return;
+  }
+  const std::size_t keep = std::max<std::uint32_t>(1, cfg_.keep_depth);
+  const std::size_t have = agent.commit_history.size();
+  // Retain the newest `keep` committed generations with their delta
+  // chains; everything else at or below the new commit goes — including
+  // tentative images from aborted rounds, which must never masquerade as
+  // a fallback generation (their channel logs may be incomplete).
+  std::set<std::uint32_t> retained;
+  for (std::size_t i = have - std::min(keep, have); i < have; ++i) {
+    std::uint32_t link = agent.commit_history[i];
+    retained.insert(link);
+    if (cfg_.incremental) {
+      while (link != 0 && rt_->store().has_image(r, link)) {
+        const auto image = rt_->store().try_peek_image(r, link);
+        if (!image) return;  // corrupt chain element: keep everything for now
+        if (image->delta_base == 0) break;
+        link = image->delta_base;
+        retained.insert(link);
+      }
     }
   }
   for (std::uint32_t index : rt_->store().saved_indices(r)) {
-    if (index < chain_start) {
+    if (index <= epoch && !retained.contains(index)) {
       rt_->store().erase(r, index);
       ++stats_.gc_reclaimed;
     }
@@ -427,8 +524,30 @@ void CoordinatedProtocol::handle_commit(Rank r, std::uint32_t epoch) {
 }
 
 RecoveryLine CoordinatedProtocol::recovery_line() const {
+  // The newest epoch <= the committed epoch at which EVERY rank still
+  // holds an image. Fault-free that is the committed epoch itself;
+  // verified recovery may have retired a rotted committed image, in which
+  // case the previous retained generation (keep_depth >= 2) is the newest
+  // cut that can still be restored. Every committed epoch is a consistent
+  // cut (images + channel logs were all durable before its commit), so
+  // restoring an older one is safe — just more rollback.
   RecoveryLine line;
-  line.index.assign(rt_->num_ranks(), rt_->store().committed_epoch());
+  const std::uint32_t committed = rt_->store().committed_epoch();
+  std::uint32_t epoch = 0;
+  if (committed != 0) {
+    std::vector<std::uint32_t> common;
+    for (std::uint32_t index : rt_->store().saved_indices(0)) {
+      if (index <= committed) common.push_back(index);
+    }
+    for (Rank r = 1; r < rt_->num_ranks() && !common.empty(); ++r) {
+      const auto saved = rt_->store().saved_indices(r);
+      std::erase_if(common, [&saved](std::uint32_t index) {
+        return std::find(saved.begin(), saved.end(), index) == saved.end();
+      });
+    }
+    if (!common.empty()) epoch = common.back();
+  }
+  line.index.assign(rt_->num_ranks(), epoch);
   return line;
 }
 
@@ -453,6 +572,10 @@ void CoordinatedProtocol::prepare_recovery(const RecoveryLine& line) {
     // dedup floor here keeps their tokens acceptable.
     agent.last_token_epoch = line.index[r];
     agent.grant_outstanding = false;
+    // Commits above the line no longer exist on storage (a fallback line
+    // means the newer generation was discarded as unrecoverable).
+    std::erase_if(agent.commit_history,
+                  [&line, r](std::uint32_t e) { return e > line.index[r]; });
   }
   acked_.clear();
   round_in_progress_ = false;
@@ -461,6 +584,8 @@ void CoordinatedProtocol::prepare_recovery(const RecoveryLine& line) {
   round_watchdog_.cancel();
   token_watchdog_.cancel();
   ring_done_ = true;
+  fruitless_rounds_ = 0;
+  stall_valid_ = false;
 }
 
 void CoordinatedProtocol::resume_after_recovery() {

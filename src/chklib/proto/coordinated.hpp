@@ -70,6 +70,11 @@ class CoordinatedProtocol final : public Protocol {
     /// toward the next expected holder when a whole period elapses with no
     /// progress. Zero disables (and suppresses the beacons).
     des::Duration token_timeout = des::Duration::zero();
+    /// Retention depth: commit-time GC keeps the delta chains of the
+    /// newest `keep_depth` committed generations (>= 1). With unreliable
+    /// storage a depth of at least 2 lets recovery fall back to the
+    /// previous generation when the newest image turns out to be rotted.
+    std::uint32_t keep_depth = 1;
   };
 
   CoordinatedProtocol(Runtime& runtime, Config config);
@@ -122,6 +127,9 @@ class CoordinatedProtocol final : public Protocol {
     /// arriving without an outstanding request are duplicates (an abort
     /// regrant racing the original) and are dropped.
     bool grant_outstanding = false;
+    /// Commit epochs this rank has observed, ascending — the retention
+    /// floor for keep-depth GC.
+    std::vector<std::uint32_t> commit_history;
   };
 
   /// Epochs 1, 1+full_every, ... carry full images in incremental mode.
@@ -169,6 +177,15 @@ class CoordinatedProtocol final : public Protocol {
   Rank token_pos_ = 0;          ///< next expected stagger-token holder
   bool token_progress_ = false; ///< a beacon arrived this watchdog period
   bool ring_done_ = true;       ///< the stagger ring completed this round
+  // Coord_NBS fail-fast: consecutive fruitless aborts (zero acks) with the
+  // write grant stuck at the same holder indicate a lost grant-release on
+  // raw links, which this scheme cannot recover without the reliable
+  // transport — abort the run with an actionable diagnostic instead of
+  // live-locking through endless round aborts.
+  static constexpr std::uint32_t kGrantStallLimit = 3;
+  std::uint32_t fruitless_rounds_ = 0;
+  bool stall_valid_ = false;
+  Rank stall_holder_ = 0;       ///< valid while stall_valid_
 };
 
 }  // namespace chk::chklib

@@ -13,11 +13,18 @@ std::vector<ProcessHistory> collect_histories(const CheckpointStore& store,
   for (Rank r = 0; r < num_ranks; ++r) {
     ProcessHistory& history = histories[r];
     history.rank = r;
-    history.saved = store.saved_indices(r);
-    for (std::uint32_t index : history.saved) {
-      const CheckpointImage image = store.peek_image(r, index);
-      history.sends.insert(history.sends.end(), image.sends.begin(), image.sends.end());
-      history.recvs.insert(history.recvs.end(), image.recvs.begin(), image.recvs.end());
+    for (std::uint32_t index : store.saved_indices(r)) {
+      const auto image = store.try_peek_image(r, index);
+      // A rotted image is unusable itself, and its dependency records are
+      // unreadable — so no newer cut at this rank can be consistency-checked
+      // either. Truncate the usable history at the first corrupt image;
+      // the line algorithms then fall back to an older generation. (A plain
+      // *gap* in the indices is different and fine: a terminally failed
+      // write skips its interval but migrates the records forward.)
+      if (!image) break;
+      history.saved.push_back(index);
+      history.sends.insert(history.sends.end(), image->sends.begin(), image->sends.end());
+      history.recvs.insert(history.recvs.end(), image->recvs.begin(), image->recvs.end());
     }
   }
   return histories;
@@ -155,11 +162,16 @@ void IndependentProtocol::do_local_checkpoint(des::Process& carrier, Rank r) {
 
   if (!is_buffered(cfg_.scheme)) {
     // The application carries its own (blocking) stable-storage write.
-    rt_->store().write_image_blocking(carrier, r, image, WriteContext::kAppBlocking);
+    const xplorer::IoStatus status =
+        rt_->store().write_image_blocking(carrier, r, image, WriteContext::kAppBlocking);
     stats_.app_blocked += rt_->sim().now() - block_start;
     if (auto* tracer = rt_->tracer()) {
       tracer->span(obs::EventKind::kCkptWindow, static_cast<std::uint16_t>(r),
                    block_start.to_nanos(), rt_->sim().now().to_nanos(), 0, index);
+    }
+    if (status != xplorer::IoStatus::kOk) {
+      failed_checkpoint(r, std::move(image));
+      return;
     }
     on_durable(r);
     return;
@@ -182,14 +194,36 @@ void IndependentProtocol::do_local_checkpoint(des::Process& carrier, Rank r) {
         }
         xplorer::Node& node = rt_->machine().node(r);
         node.begin_background_io();
-        rt_->store().write_image_blocking(self, r, image);
+        const xplorer::IoStatus status = rt_->store().write_image_blocking(self, r, image);
         node.end_background_io();
         if (is_staggered(cfg_.scheme)) {
           rt_->comm().send_control(r, cfg_.arbiter,
                                    ControlMsg{ControlKind::kTokenRelease, r, image.index, 0});
         }
+        if (status != xplorer::IoStatus::kOk) {
+          failed_checkpoint(r, std::move(image));
+          return;
+        }
         on_durable(r);
       }));
+}
+
+void IndependentProtocol::failed_checkpoint(Rank r, CheckpointImage image) {
+  // The interval is skipped: stable storage keeps the previous generation
+  // as this rank's newest restorable cut. The failed image's dependency
+  // records (and logged payloads) were exchanged out at the cut, so splice
+  // them back at the *front* of the live accumulators — the next image
+  // then carries both intervals' records in chronological order and later
+  // cuts remain fully characterized for the line algorithms.
+  ++stats_.ckpt_write_failures;
+  Agent& agent = *agents_[r];
+  agent.sends.insert(agent.sends.begin(), image.sends.begin(), image.sends.end());
+  agent.recvs.insert(agent.recvs.begin(), image.recvs.begin(), image.recvs.end());
+  if (cfg_.message_logging) {
+    agent.sent_log.messages.insert(agent.sent_log.messages.begin(),
+                                   image.sent_log.messages.begin(),
+                                   image.sent_log.messages.end());
+  }
 }
 
 void IndependentProtocol::on_durable(Rank) {
@@ -197,6 +231,19 @@ void IndependentProtocol::on_durable(Rank) {
 }
 
 std::uint64_t IndependentProtocol::run_gc() {
+  // Corruption pre-pass: a rotted image and everything newer at that rank
+  // are discarded — without the rotted image's dependency records those
+  // cuts can never be restored consistently (see collect_histories).
+  for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    bool rotted = false;
+    for (std::uint32_t index : rt_->store().saved_indices(r)) {
+      if (!rotted && !rt_->store().verify_image(r, index)) rotted = true;
+      if (rotted) {
+        rt_->store().erase(r, index);
+        ++stats_.corrupt_discarded;
+      }
+    }
+  }
   const auto histories = collect_histories(rt_->store(), rt_->num_ranks());
   // With message logging, older images' sent logs stay replay-relevant for
   // any send a receiver has not yet covered with a checkpoint: the strict
@@ -205,8 +252,18 @@ std::uint64_t IndependentProtocol::run_gc() {
   const auto result = compute_recovery_line(histories, mode);
   const auto to_delete = reclaimable(histories, result.line);
   std::uint64_t reclaimed = 0;
+  const std::size_t keep = std::max<std::uint32_t>(1, cfg_.keep_depth);
   for (Rank r = 0; r < rt_->num_ranks(); ++r) {
+    // Keep-depth retention floor: the newest `keep` generations survive
+    // even when the line marks them reclaimable, so restore-time failures
+    // still have an older generation to fall back to.
+    const auto& saved = histories[r].saved;
+    std::uint32_t floor_index = 0;
+    if (!saved.empty()) {
+      floor_index = saved.size() >= keep ? saved[saved.size() - keep] : saved.front();
+    }
     for (std::uint32_t index : to_delete[r]) {
+      if (index >= floor_index) continue;
       rt_->store().erase(r, index);
       ++reclaimed;
     }
@@ -225,8 +282,15 @@ RecoveryLine IndependentProtocol::recovery_line() const {
     RecoveryLine line;
     line.index.resize(rt_->num_ranks());
     for (Rank r = 0; r < rt_->num_ranks(); ++r) {
-      const auto saved = rt_->store().saved_indices(r);
-      line.index[r] = saved.empty() ? 0 : saved.back();
+      // Newest index of the verified prefix: a rotted image's sent log is
+      // unreplayable, so the rank must roll below it and re-execute (and
+      // thus re-send) those intervals itself.
+      std::uint32_t newest = 0;
+      for (std::uint32_t index : rt_->store().saved_indices(r)) {
+        if (!rt_->store().verify_image(r, index)) break;
+        newest = index;
+      }
+      line.index[r] = newest;
     }
     return line;
   }

@@ -54,6 +54,12 @@ class IndependentProtocol final : public Protocol {
     /// line becomes executable — no domino effect, at the price of larger
     /// checkpoints. Set recovery_mode/gc_mode to kOrphanFree with this.
     bool message_logging = false;
+    /// Retention depth: GC never prunes a rank below its newest
+    /// `keep_depth` verified generations (>= 1), even when the recovery
+    /// line says they are reclaimable. With unreliable storage a depth of
+    /// at least 2 lets recovery fall back to an older cut when the newest
+    /// image turns out to be rotted at restore time.
+    std::uint32_t keep_depth = 1;
   };
 
   IndependentProtocol(Runtime& runtime, Config config);
@@ -99,6 +105,10 @@ class IndependentProtocol final : public Protocol {
   void safe_point(Rank r, des::Process& self);
   void do_local_checkpoint(des::Process& carrier, Rank r);
   void on_durable(Rank r);
+  /// Terminal stable-storage failure: the interval is skipped (no image at
+  /// this index) and the failed image's dependency records migrate forward
+  /// into the next checkpoint so later cuts stay fully characterized.
+  void failed_checkpoint(Rank r, CheckpointImage image);
 
   Config cfg_;
   std::vector<std::unique_ptr<Agent>> agents_;

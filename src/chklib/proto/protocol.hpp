@@ -33,6 +33,15 @@ struct ProtocolStats {
   std::uint32_t aborted_rounds = 0;     ///< rounds the watchdog timed out and re-initiated
   std::uint32_t tokens_regenerated = 0; ///< stagger tokens re-issued by the watchdog
   std::uint64_t gc_reclaimed = 0;       ///< checkpoints deleted by garbage collection
+  /// Checkpoint image/log writes that failed terminally (retries
+  /// exhausted); the round aborted or the interval was skipped.
+  std::uint64_t ckpt_write_failures = 0;
+  /// Commit-record writes that failed terminally; the coordinator aborted
+  /// the round and re-initiated it at the next epoch.
+  std::uint32_t commit_write_failures = 0;
+  /// Stored checkpoints discarded because their checksum no longer
+  /// verified (bit-rot found by GC or recovery planning).
+  std::uint64_t corrupt_discarded = 0;
   /// Total time application processes spent blocked performing checkpoint
   /// work (the scheme's blocking window, summed over ranks and rounds).
   des::Duration app_blocked;

@@ -86,28 +86,42 @@ void RecoveryManager::on_failure(Rank failed) {
   rt_->comm().flush_all();
   report.inflight_discarded = rt_->store().storage().discard_inflight_writes();
 
-  // 2. Plan the rollback (metadata only, free).
+  // 2+3. Plan the rollback and spawn the loaders. Re-planned from scratch
+  //      if a loader finds its generation unreadable.
+  active_.emplace();
+  active_->report = std::make_shared<RecoveryReport>(std::move(report));
+  active_->newest = std::move(newest);
+  plan_and_spawn();
+}
+
+void RecoveryManager::plan_and_spawn() {
+  des::Simulator& sim = rt_->sim();
+  auto shared_report = active_->report;
+  RecoveryReport& report = *shared_report;
+
+  // Plan the rollback (metadata only, free) against what stable storage
+  // still holds — on a re-plan attempt the discarded generation is gone and
+  // the line falls back to the newest surviving consistent cut.
   report.line = protocol_->recovery_line();
   report.rolled_to_origin = report.line.at_origin();
-  report.domino_depth.resize(rt_->num_ranks());
+  report.domino_depth.assign(rt_->num_ranks(), 0);
   for (Rank r = 0; r < rt_->num_ranks(); ++r) {
-    report.domino_depth[r] = domino_depth(newest[r], report.line.index[r]);
+    report.domino_depth[r] = domino_depth(active_->newest[r], report.line.index[r]);
   }
-  report.rollback_distance.resize(rt_->num_ranks());
+  report.rollback_distance.assign(rt_->num_ranks(), des::Duration());
   protocol_->prepare_recovery(report.line);
-  if (observer_) observer_->on_recovery_begin(failed);
+  if (observer_ && active_->attempt == 0) observer_->on_recovery_begin(report.failed_rank);
 
-  // 3. Restore: one loader process per rank issues the timed stable-storage
-  //    reads (they contend at the disk exactly like the writes did).
-  active_.emplace();
+  // Restore: one loader process per rank issues the timed stable-storage
+  // reads (they contend at the disk exactly like the writes did).
   active_->pending = std::make_shared<std::size_t>(rt_->num_ranks());
-  active_->report = std::make_shared<RecoveryReport>(std::move(report));
+  active_->loaders.clear();
   auto pending = active_->pending;
-  auto shared_report = active_->report;
+  const std::uint32_t attempt = active_->attempt;
   for (Rank r = 0; r < rt_->num_ranks(); ++r) {
     des::Process& loader = sim.spawn(
         util::format("recover-r{}", r),
-        [this, r, pending, shared_report](des::Process& self) {
+        [this, r, pending, shared_report, attempt](des::Process& self) {
       RankRuntime& rank = rt_->rank(r);
       const std::uint32_t index = shared_report->line.index[r];
       des::TimePoint restored_from = des::TimePoint::origin();
@@ -117,8 +131,13 @@ void RecoveryManager::on_failure(Rank failed) {
         rank.fresh = true;
       } else {
         std::uint64_t blob_bytes = 0;
-        CheckpointImage image = rt_->store().load_image_blocking(self, r, index, &blob_bytes);
+        auto loaded = rt_->store().try_load_image_blocking(self, r, index, &blob_bytes);
         shared_report->bytes_read += blob_bytes;
+        if (!loaded) {
+          replan_after_bad_generation(shared_report, attempt, r, {index});
+          return;
+        }
+        CheckpointImage image = std::move(*loaded);
         restored_from = des::TimePoint::from_nanos(image.captured_at_ns);
         std::vector<std::byte> state;
         if (image.delta_base == 0) {
@@ -131,11 +150,18 @@ void RecoveryManager::on_failure(Rank failed) {
           std::vector<CheckpointImage> chain;
           chain.push_back(std::move(image));
           while (chain.back().delta_base != 0) {
-            CheckpointImage pred = rt_->store().load_image_blocking(
-                self, r, chain.back().delta_base, &blob_bytes);
+            const std::uint32_t pred_index = chain.back().delta_base;
+            auto pred =
+                rt_->store().try_load_image_blocking(self, r, pred_index, &blob_bytes);
             shared_report->bytes_read += blob_bytes;
             shared_report->bytes_reread += blob_bytes;
-            chain.push_back(std::move(pred));
+            if (!pred) {
+              // The whole generation is unusable without its chain: discard
+              // the line image together with the unreadable predecessor.
+              replan_after_bad_generation(shared_report, attempt, r, {index, pred_index});
+              return;
+            }
+            chain.push_back(std::move(*pred));
           }
           state = std::move(chain.back().state);
           for (auto it = chain.rbegin() + 1; it != chain.rend(); ++it) {
@@ -160,17 +186,25 @@ void RecoveryManager::on_failure(Rank failed) {
         // Pre-line images also carry payload logs that may be needed
         // (earlier intervals whose receives the line forgot). Collect
         // them from metadata; their bytes were paid for when written.
+        // A rotted pre-line image contributes nothing — the line planner
+        // already rolled the sender below any unreadable log it may need.
         for (std::uint32_t older : rt_->store().saved_indices(r)) {
           if (older >= index) continue;
-          const CheckpointImage meta = rt_->store().peek_image(r, older);
+          const auto meta = rt_->store().try_peek_image(r, older);
+          if (!meta) continue;
           auto& logged = shared_report->logged_sends;
-          logged.insert(logged.end(), meta.sent_log.messages.begin(),
-                        meta.sent_log.messages.end());
+          logged.insert(logged.end(), meta->sent_log.messages.begin(),
+                        meta->sent_log.messages.end());
         }
         // Coordinated: replay the in-transit messages of the cut.
-        if (auto log = rt_->store().load_log_blocking(self, r, index)) {
+        bool log_failed = false;
+        if (auto log = rt_->store().try_load_log_blocking(self, r, index, &log_failed)) {
           shared_report->channel_messages_replayed += log->messages.size();
           rt_->comm().endpoint(r).reinject(std::move(log->messages));
+        } else if (log_failed) {
+          // A cut whose channel log cannot be restored is not executable.
+          replan_after_bad_generation(shared_report, attempt, r, {index});
+          return;
         }
       }
       shared_report->rollback_distance[r] = shared_report->failed_at - restored_from;
@@ -180,6 +214,37 @@ void RecoveryManager::on_failure(Rank failed) {
     });
     active_->loaders.push_back(&loader);
   }
+}
+
+void RecoveryManager::replan_after_bad_generation(std::shared_ptr<RecoveryReport> report,
+                                                  std::uint32_t attempt, Rank r,
+                                                  std::vector<std::uint32_t> bad) {
+  // Called from a loader's own context: defer one event so the re-plan can
+  // kill the sibling loaders (and let the caller finish) in kernel context
+  // without unwinding anyone mid-body.
+  rt_->sim().schedule_now([this, report = std::move(report), attempt, r,
+                           bad = std::move(bad)] {
+    // Stale trigger: a sibling loader already re-planned this attempt, or a
+    // new failure superseded the whole recovery.
+    if (!active_ || active_->report != report || active_->attempt != attempt) return;
+    CHK_INFO("recovery", "rank {} generation {} unreadable; discarding and re-planning",
+             r, bad.front());
+    for (des::Process* loader : active_->loaders) {
+      if (!loader->finished()) rt_->sim().kill(*loader);
+    }
+    active_->loaders.clear();
+    for (std::uint32_t index : bad) rt_->store().erase(r, index);
+    ++report->generations_skipped;
+    // Partial restore state from this attempt is rolled back: reinjected
+    // replays and restored sequence counters are flushed, the replay
+    // scratch restarts empty. bytes_read keeps accumulating — the failed
+    // reads did real, timed work.
+    report->logged_sends.clear();
+    report->channel_messages_replayed = 0;
+    rt_->comm().flush_all();
+    ++active_->attempt;
+    plan_and_spawn();
+  });
 }
 
 void RecoveryManager::finish_recovery(const std::shared_ptr<RecoveryReport>& shared_report) {

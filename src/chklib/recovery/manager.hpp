@@ -43,6 +43,12 @@ struct RecoveryReport {
   /// deltas read *in addition to* each rank's line image.
   std::uint64_t bytes_reread = 0;
   std::uint64_t channel_messages_replayed = 0;
+  /// Checkpoint generations the restore had to discard and fall back past:
+  /// a planned line image (or one of its delta-chain predecessors, or its
+  /// channel log) turned out unreadable — terminal read error or bit-rot —
+  /// so the bad generation was erased and the rollback re-planned against
+  /// the surviving stable-storage state.
+  std::uint32_t generations_skipped = 0;
   bool rolled_to_origin = false;
   /// The failure landed while checkpoint stable-storage writes were still in
   /// the mesh/host-link/disk pipeline (those writes were discarded).
@@ -117,6 +123,18 @@ class RecoveryManager {
  private:
   void on_failure(Rank failed);
   void abort_active_recovery();
+  /// Compute the line against the current stable-storage state, reset the
+  /// protocol, and spawn one loader per rank. Called once per attempt —
+  /// initially from on_failure, again after each discarded generation.
+  void plan_and_spawn();
+  /// A loader found its generation unreadable (terminal read error or
+  /// bit-rot). Erase the `bad` indices at rank `r`, bump
+  /// generations_skipped, and re-plan the rollback one event later in
+  /// kernel context. `attempt` guards against stale triggers (a sibling
+  /// loader re-planned first, or a new failure superseded this recovery).
+  void replan_after_bad_generation(std::shared_ptr<RecoveryReport> report,
+                                   std::uint32_t attempt, Rank r,
+                                   std::vector<std::uint32_t> bad);
   void finish_recovery(const std::shared_ptr<RecoveryReport>& shared_report);
 
   /// The restore currently in flight, if any.
@@ -124,6 +142,9 @@ class RecoveryManager {
     std::shared_ptr<RecoveryReport> report;
     std::shared_ptr<std::size_t> pending;  ///< loader ranks not yet restored
     std::vector<des::Process*> loaders;
+    /// Newest saved index per rank at failure time (domino-depth metric).
+    std::vector<std::uint32_t> newest;
+    std::uint32_t attempt = 0;  ///< restore attempts (re-plans) so far
   };
 
   Runtime* rt_;

@@ -22,6 +22,11 @@ RunOutcome run_one(const CampaignConfig& config, std::uint32_t run_index) {
     experiment.link_faults->stream = config.campaign_seed + run_index;
     experiment.reliable_transport = config.reliable_transport;
   }
+  if (config.storage_faults.has_value()) {
+    experiment.storage_faults = config.storage_faults;
+    experiment.storage_faults->stream = config.campaign_seed + run_index;
+  }
+  experiment.keep_depth = config.keep_depth;
 
   const harness::ExperimentResult result = harness::run_experiment(experiment);
 
@@ -55,6 +60,15 @@ RunOutcome run_one(const CampaignConfig& config, std::uint32_t run_index) {
   outcome.corrupt_detected = result.corrupt_detected;
   outcome.link_drops = result.link_drops;
   outcome.aborted_rounds = result.aborted_rounds;
+  outcome.io_write_errors = result.io_write_errors;
+  outcome.io_read_errors = result.io_read_errors;
+  outcome.bitrot_injected = result.bitrot_injected;
+  outcome.storage_retries = result.storage_retries;
+  outcome.storage_write_failures = result.storage_write_failures;
+  outcome.ckpt_write_failures = result.ckpt_write_failures;
+  outcome.corrupt_discarded = result.corrupt_discarded;
+  outcome.generations_skipped = result.generations_skipped;
+  outcome.reclaimed_bytes = result.reclaimed_bytes;
   return outcome;
 }
 
@@ -113,6 +127,15 @@ obs::json::Value outcome_to_json(const RunOutcome& o) {
   v.set("corrupt_detected", Value::number(o.corrupt_detected));
   v.set("link_drops", Value::number(o.link_drops));
   v.set("aborted_rounds", Value::number(std::uint64_t{o.aborted_rounds}));
+  v.set("io_write_errors", Value::number(o.io_write_errors));
+  v.set("io_read_errors", Value::number(o.io_read_errors));
+  v.set("bitrot_injected", Value::number(o.bitrot_injected));
+  v.set("storage_retries", Value::number(o.storage_retries));
+  v.set("storage_write_failures", Value::number(o.storage_write_failures));
+  v.set("ckpt_write_failures", Value::number(o.ckpt_write_failures));
+  v.set("corrupt_discarded", Value::number(o.corrupt_discarded));
+  v.set("generations_skipped", Value::number(std::uint64_t{o.generations_skipped}));
+  v.set("reclaimed_bytes", Value::number(o.reclaimed_bytes));
   return v;
 }
 

@@ -38,6 +38,13 @@ struct CampaignConfig {
   /// Run the reliable FIFO transport above the lossy links (see
   /// ExperimentConfig::reliable_transport).
   bool reliable_transport = true;
+  /// Unreliable stable storage during the campaign runs (composes with the
+  /// failure process and the link faults — every fault domain draws from
+  /// its own forked stream). Run i forks the storage-fault stream by
+  /// campaign_seed + i, mirroring the link-fault discipline.
+  std::optional<xplorer::StorageFaultConfig> storage_faults;
+  /// Checkpoint retention depth forwarded to the experiment (0 = auto).
+  std::uint32_t keep_depth = 0;
   /// Failure-free result digest to verify each run against (any failure
   /// schedule must still compute the same answer).
   std::optional<double> expected_digest;
@@ -66,6 +73,16 @@ struct RunOutcome {
   std::uint64_t corrupt_detected = 0;
   std::uint64_t link_drops = 0;
   std::uint32_t aborted_rounds = 0;
+  // Stable-storage fault activity (zero when the campaign has no storage faults).
+  std::uint64_t io_write_errors = 0;
+  std::uint64_t io_read_errors = 0;
+  std::uint64_t bitrot_injected = 0;
+  std::uint64_t storage_retries = 0;
+  std::uint64_t storage_write_failures = 0;
+  std::uint64_t ckpt_write_failures = 0;
+  std::uint64_t corrupt_discarded = 0;
+  std::uint32_t generations_skipped = 0;  ///< recovery fallbacks to an older generation
+  std::uint64_t reclaimed_bytes = 0;
 };
 
 struct CampaignSummary {

@@ -43,6 +43,7 @@ obs::MetricsSnapshot build_metrics(const ExperimentResult& result, const ObsData
   reg.gauge("attrib/interference_s").set(total.interference_s);
   reg.gauge("attrib/recovery_s").set(total.recovery_s);
   reg.gauge("attrib/retransmit_wait_s").set(total.retransmit_wait_s);
+  reg.gauge("attrib/storage_retry_wait_s").set(total.storage_retry_wait_s);
   reg.gauge("attrib/total_s").set(total.total_s());
 
   // Transport / link-fault counters (all zero with faults off).
@@ -55,6 +56,21 @@ obs::MetricsSnapshot build_metrics(const ExperimentResult& result, const ObsData
   reg.counter("comm/link_delayed").set(result.link_delayed);
   reg.counter("ckpt/aborted_rounds").set(result.aborted_rounds);
   reg.counter("ckpt/tokens_regenerated").set(result.tokens_regenerated);
+
+  // Stable-storage fault counters (all zero with storage faults off).
+  reg.counter("storage/io_write_errors").set(result.io_write_errors);
+  reg.counter("storage/io_read_errors").set(result.io_read_errors);
+  reg.counter("storage/bitrot_injected").set(result.bitrot_injected);
+  reg.counter("storage/degraded_ops").set(result.degraded_ops);
+  reg.counter("storage/retries").set(result.storage_retries);
+  reg.counter("storage/write_failures").set(result.storage_write_failures);
+  reg.counter("storage/read_failures").set(result.storage_read_failures);
+  reg.counter("storage/reclaimed_bytes").set(result.reclaimed_bytes);
+  reg.counter("ckpt/write_failures").set(result.ckpt_write_failures);
+  reg.counter("ckpt/commit_write_failures").set(result.commit_write_failures);
+  reg.counter("ckpt/corrupt_discarded").set(result.corrupt_discarded);
+  reg.counter("recovery/generations_skipped").set(result.generations_skipped);
+  reg.gauge("storage/retry_wait_s").set(result.storage_retry_wait_s);
 
   // Recovery outcome counters (all zero in failure-free runs).
   std::uint64_t interrupted = 0;
@@ -104,14 +120,34 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         runtime.fork_rng(0x11F0u).fork(config.link_faults->stream));
     if (config.reliable_transport) runtime.comm().enable_transport();
   }
+  // Unreliable stable storage. Installed before any write is submitted;
+  // its RNG stream (tag 0x510F) is forked independently of the link-fault
+  // stream (0x11F0), so the two fault domains compose seed-stably.
+  const bool faulty_storage =
+      config.storage_faults.has_value() && config.storage_faults->enabled();
+  if (faulty_storage) {
+    runtime.machine().storage().set_faults(
+        *config.storage_faults,
+        runtime.fork_rng(0x510Fu).fork(config.storage_faults->stream));
+  }
+  if (config.storage_retry.has_value()) {
+    runtime.store().set_retry_policy(*config.storage_retry);
+  }
+  // Retention: one generation normally; two when the storage can rot or
+  // fail a write, so verified recovery has a generation to fall back to.
+  std::uint32_t keep_depth = config.keep_depth;
+  if (keep_depth == 0) keep_depth = faulty_storage ? 2 : 1;
   // Watchdogs: off by default (arming the timers perturbs fault-free event
-  // sequencing); auto-armed whenever the links can actually lose messages.
+  // sequencing); auto-armed whenever the links can actually lose messages —
+  // or the storage can fail a commit write, which aborts rounds through the
+  // same re-initiation path.
+  const bool needs_watchdog = lossy_links || faulty_storage;
   des::Duration round_timeout = config.round_timeout;
   des::Duration token_timeout = config.token_timeout;
-  if (lossy_links && round_timeout.to_nanos() == 0) {
+  if (needs_watchdog && round_timeout.to_nanos() == 0) {
     round_timeout = config.interval + des::Duration::secs(30);
   }
-  if (lossy_links && token_timeout.to_nanos() == 0) {
+  if (needs_watchdog && token_timeout.to_nanos() == 0) {
     token_timeout = round_timeout / 4;
   }
 
@@ -127,7 +163,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                             .incremental = config.incremental,
                                             .full_every = config.full_every,
                                             .round_timeout = round_timeout,
-                                            .token_timeout = token_timeout});
+                                            .token_timeout = token_timeout,
+                                            .keep_depth = keep_depth});
   } else if (is_independent(config.scheme)) {
     protocol = std::make_unique<chklib::IndependentProtocol>(
         runtime, chklib::IndependentProtocol::Config{.scheme = config.scheme,
@@ -138,7 +175,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                                      .gc_mode = config.gc_mode,
                                                      .recovery_mode = config.recovery_mode,
                                                      .message_logging =
-                                                         config.message_logging});
+                                                         config.message_logging,
+                                                     .keep_depth = keep_depth});
   }
 
   std::unique_ptr<chklib::verify::Monitor> monitor;
@@ -214,14 +252,36 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.gc_reclaimed = stats.gc_reclaimed;
     result.aborted_rounds = stats.aborted_rounds;
     result.tokens_regenerated = stats.tokens_regenerated;
+    result.ckpt_write_failures = stats.ckpt_write_failures;
+    result.commit_write_failures = stats.commit_write_failures;
+    result.corrupt_discarded = stats.corrupt_discarded;
   }
+  if (const auto* faults = machine.storage().faults()) {
+    result.io_write_errors = faults->write_errors();
+    result.io_read_errors = faults->read_errors();
+    result.bitrot_injected = faults->bitrot_flagged();
+    result.degraded_ops = faults->degraded_ops();
+  }
+  {
+    const auto& client = runtime.store().client();
+    result.storage_retries = client.retries();
+    result.storage_write_failures = client.write_failures();
+    result.storage_read_failures = client.read_failures();
+    result.storage_retry_wait_s = client.retry_wait().to_seconds();
+  }
+  result.reclaimed_bytes = machine.storage().bytes_reclaimed();
   result.bytes_written = machine.storage().bytes_written();
   result.peak_storage_bytes = machine.storage().peak_bytes();
   result.final_storage_bytes = runtime.store().total_checkpoint_bytes();
   result.final_stored_checkpoints = runtime.store().checkpoint_count();
 
   result.digest = runtime.result_digest();
-  if (recovery) result.recoveries = recovery->reports();
+  if (recovery) {
+    result.recoveries = recovery->reports();
+    for (const RecoveryReport& rep : result.recoveries) {
+      result.generations_skipped += rep.generations_skipped;
+    }
+  }
   if (injector) result.injections = injector->stats();
   result.writes_discarded = machine.storage().writes_discarded();
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "chklib/ckpt/storage_client.hpp"
 #include "chklib/comm/link_fault.hpp"
 #include "chklib/proto/scheme.hpp"
 #include "chklib/recovery/line.hpp"
@@ -17,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "xplorer/config.hpp"
+#include "xplorer/storage_fault.hpp"
 
 namespace chk::harness {
 
@@ -63,6 +65,20 @@ struct ExperimentConfig {
   /// this off exposes the protocols to raw loss — only the round/token
   /// watchdogs stand between them and a hang. Ignored without link faults.
   bool reliable_transport = true;
+  /// Unreliable stable storage: per-operation transient write/read I/O
+  /// errors, timed degraded-throughput windows, and silent bit-rot of
+  /// durable images. Unset (or all-inactive) = perfect storage,
+  /// bit-identical to pre-fault-model builds.
+  std::optional<xplorer::StorageFaultConfig> storage_faults;
+  /// Retry policy of the storage client (attempts, backoff, deadline).
+  /// Unset = the client's defaults. Only consulted when storage faults can
+  /// actually fail an operation.
+  std::optional<chklib::RetryPolicy> storage_retry;
+  /// Checkpoint retention depth (generations kept per rank after GC /
+  /// commit pruning). Zero = auto: 1 normally, raised to 2 when storage
+  /// faults are enabled so verified recovery has a generation to fall
+  /// back to.
+  std::uint32_t keep_depth = 0;
   /// Coordinated round watchdog; zero = auto (interval + 30 s) when link
   /// faults are enabled, otherwise off.
   des::Duration round_timeout = des::Duration::zero();
@@ -139,6 +155,21 @@ struct ExperimentResult {
   std::uint64_t link_delayed = 0;      ///< frames given extra delay
   std::uint32_t aborted_rounds = 0;    ///< rounds the coordinator watchdog re-initiated
   std::uint32_t tokens_regenerated = 0;  ///< stagger tokens re-issued by the watchdog
+
+  // unreliable stable storage (all zero with storage faults off)
+  std::uint64_t io_write_errors = 0;      ///< write attempts the fault model failed
+  std::uint64_t io_read_errors = 0;       ///< read attempts the fault model failed
+  std::uint64_t bitrot_injected = 0;      ///< durable images silently corrupted
+  std::uint64_t degraded_ops = 0;         ///< operations inside a degraded window
+  std::uint64_t storage_retries = 0;      ///< client retry attempts (after backoff)
+  std::uint64_t storage_write_failures = 0;  ///< terminal write failures (retries exhausted)
+  std::uint64_t storage_read_failures = 0;   ///< terminal read failures
+  double storage_retry_wait_s = 0;        ///< app-blocking backoff time (attribution bucket)
+  std::uint64_t ckpt_write_failures = 0;  ///< checkpoint image/log writes lost terminally
+  std::uint32_t commit_write_failures = 0;  ///< commit writes lost (round re-initiated)
+  std::uint64_t corrupt_discarded = 0;    ///< rotted checkpoints found and erased
+  std::uint32_t generations_skipped = 0;  ///< recovery fallbacks to an older generation
+  std::uint64_t reclaimed_bytes = 0;      ///< stable-storage bytes erased (GC + discards)
 
   // checkpointing
   std::uint64_t local_checkpoints = 0;

@@ -17,6 +17,7 @@ struct NsBuckets {
   std::int64_t interference = 0;
   std::int64_t recovery = 0;
   std::int64_t retransmit_wait = 0;
+  std::int64_t retry_wait = 0;
 };
 
 constexpr double to_s(std::int64_t ns) noexcept { return static_cast<double>(ns) * 1e-9; }
@@ -57,6 +58,9 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
       case EventKind::kRetransmitWait:
         b.retransmit_wait += e.dur_ns;
         break;
+      case EventKind::kStorageRetryWait:
+        if (e.arg == 1) b.retry_wait += e.dur_ns;
+        break;
       case EventKind::kInterference:
         b.interference += static_cast<std::int64_t>(e.aux);
         break;
@@ -72,7 +76,8 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
     RankBuckets& out = report.ranks[r];
     // The window remainder is protocol synchronization: token/grant waits
     // and any in-window time not spent copying or writing.
-    const std::int64_t accounted = b.mem_copy + b.stable_write + b.contention + b.logging;
+    const std::int64_t accounted =
+        b.mem_copy + b.stable_write + b.contention + b.logging + b.retry_wait;
     out.sync_wait_s = to_s(std::max<std::int64_t>(0, b.window - accounted));
     out.mem_copy_s = to_s(b.mem_copy);
     out.stable_write_s = to_s(b.stable_write);
@@ -82,6 +87,7 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
     out.interference_s = to_s(b.interference);
     out.recovery_s = to_s(b.recovery);
     out.retransmit_wait_s = to_s(b.retransmit_wait);
+    out.storage_retry_wait_s = to_s(b.retry_wait);
     out.blocked_total_s = to_s(b.window);
 
     report.total.sync_wait_s += out.sync_wait_s;
@@ -93,6 +99,7 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
     report.total.interference_s += out.interference_s;
     report.total.recovery_s += out.recovery_s;
     report.total.retransmit_wait_s += out.retransmit_wait_s;
+    report.total.storage_retry_wait_s += out.storage_retry_wait_s;
     report.total.blocked_total_s += out.blocked_total_s;
   }
   return report;

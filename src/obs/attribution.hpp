@@ -7,7 +7,8 @@
 // CPU interference of background writes:
 //
 //   blocked window  =  sync_wait + mem_copy + stable_write
-//                      + storage_contention + logging        (exact, in ns)
+//                      + storage_contention + logging
+//                      + storage_retry_wait                  (exact, in ns)
 //   per-rank total  =  blocked windows + frozen_stall + interference
 //                      + recovery + retransmit_wait
 //
@@ -43,6 +44,10 @@ struct RankBuckets {
   /// a retransmission (zero when link faults are off). Outside the blocked
   /// windows: the gap stalls delivery, not the application's checkpoint.
   double retransmit_wait_s = 0;
+  /// Backoff time between storage retry attempts inside app-blocking
+  /// checkpoint windows (zero when storage faults are off). Background-
+  /// writer retries stay out, like background writes themselves.
+  double storage_retry_wait_s = 0;
   /// Sum of this rank's checkpoint blocking windows (== the protocol's
   /// app_blocked share; the first five buckets partition it exactly).
   double blocked_total_s = 0;
@@ -50,7 +55,7 @@ struct RankBuckets {
   [[nodiscard]] double bucket_sum_s() const noexcept {
     return sync_wait_s + mem_copy_s + stable_write_s + storage_contention_s +
            logging_s + frozen_stall_s + interference_s + recovery_s +
-           retransmit_wait_s;
+           retransmit_wait_s + storage_retry_wait_s;
   }
   [[nodiscard]] double total_s() const noexcept {
     return blocked_total_s + frozen_stall_s + interference_s + recovery_s +

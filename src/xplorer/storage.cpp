@@ -12,29 +12,65 @@ StableStorage::StableStorage(des::Simulator& sim, Network& network,
       host_link_(sim, "host-link", config.host_link.bandwidth, config.host_link.latency),
       disk_(sim, "disk", config.disk.bandwidth, config.disk.latency) {}
 
+void StableStorage::set_faults(const StorageFaultConfig& config, util::Rng rng) {
+  faults_ = std::make_unique<StorageFaultModel>(config, rng);
+}
+
+des::Duration StableStorage::degrade_penalty(std::size_t bytes) {
+  if (faults_ == nullptr) return des::Duration::zero();
+  const double factor = faults_->slowdown_at(sim_->now());
+  if (factor <= 1.0) return des::Duration::zero();
+  return disk_.service_time(bytes).scaled(factor - 1.0);
+}
+
 void StableStorage::write(NodeId from, std::string key, std::vector<std::byte> data,
-                          std::function<void()> on_durable) {
+                          std::function<void(IoStatus)> on_done) {
   const std::size_t bytes = data.size();
   if (write_hook_) write_hook_(from, key, bytes);
   ++inflight_writes_;
   const std::uint64_t generation = write_generation_;
+  // Faults are judged at submission (fixed draw order per operation); a
+  // degraded window adds extra disk time after the regular service.
+  StorageFaultModel::WriteVerdict verdict;
+  if (faults_ != nullptr) verdict = faults_->judge_write();
+  const des::Duration penalty = degrade_penalty(bytes);
   // Stage 1: mesh to the host node. Stage 2: host interface link.
   // Stage 3: disk service. Data becomes durable at disk completion — unless
   // a crash invalidated the write's generation first, in which case the
-  // pipeline events still drain but the payload is dropped on the floor.
+  // pipeline events still drain but the payload is dropped on the floor,
+  // or the fault model ruled a transient I/O error, in which case the
+  // fully-timed attempt reports kIoError and stores nothing.
   auto state = std::make_shared<std::pair<std::string, std::vector<std::byte>>>(
       std::move(key), std::move(data));
+  auto finish = [this, generation, state, verdict,
+                 on_done = std::move(on_done)]() mutable {
+    if (generation != write_generation_) return;  // discarded by a crash
+    --inflight_writes_;
+    if (verdict.io_error) {
+      ++writes_failed_;
+      if (on_done) on_done(IoStatus::kIoError);
+      return;
+    }
+    const std::size_t stored = state->second.size();
+    store_now(state->first, std::move(state->second));
+    if (verdict.bitrot && stored > 0) {
+      // Silent corruption between write and read: the durable image gets
+      // one byte flipped, detectable only by the blob's own checksum.
+      auto& blob = files_[state->first];
+      blob[verdict.rot_offset % blob.size()] ^= std::byte{verdict.rot_mask};
+    }
+    ++writes_completed_;
+    if (on_done) on_done(IoStatus::kOk);
+  };
   network_->transfer(from, host_node_, bytes, Traffic::kCheckpoint,
-                     [this, bytes, generation, state,
-                      on_durable = std::move(on_durable)]() mutable {
-    host_link_.submit(bytes, [this, bytes, generation, state,
-                              on_durable = std::move(on_durable)]() mutable {
-      disk_.submit(bytes, [this, generation, state, on_durable = std::move(on_durable)] {
-        if (generation != write_generation_) return;  // discarded by a crash
-        --inflight_writes_;
-        store_now(state->first, std::move(state->second));
-        ++writes_completed_;
-        if (on_durable) on_durable();
+                     [this, bytes, penalty, finish = std::move(finish)]() mutable {
+    host_link_.submit(bytes, [this, bytes, penalty, finish = std::move(finish)]() mutable {
+      disk_.submit(bytes, [this, penalty, finish = std::move(finish)]() mutable {
+        if (penalty > des::Duration::zero()) {
+          sim_->schedule_after(penalty, std::move(finish));
+        } else {
+          finish();
+        }
       });
     });
   });
@@ -48,39 +84,65 @@ std::size_t StableStorage::discard_inflight_writes() noexcept {
   return discarded;
 }
 
-void StableStorage::write_blocking(des::Process& self, NodeId from, std::string key,
-                                   std::vector<std::byte> data) {
+IoStatus StableStorage::write_blocking(des::Process& self, NodeId from, std::string key,
+                                       std::vector<std::byte> data) {
   des::Completion done(*sim_);
-  write(from, std::move(key), std::move(data), done.callback());
+  auto status = std::make_shared<IoStatus>(IoStatus::kOk);
+  write(from, std::move(key), std::move(data),
+        [status, cb = done.callback()](IoStatus s) {
+          *status = s;
+          cb();
+        });
   done.await(self);
+  return *status;
 }
 
 void StableStorage::read(NodeId to, const std::string& key,
-                         std::function<void(std::vector<std::byte>)> on_read) {
+                         std::function<void(std::vector<std::byte>, IoStatus)> on_read) {
   std::vector<std::byte> data;
   if (const auto it = files_.find(key); it != files_.end()) data = it->second;
   const std::size_t bytes = data.size();
+  StorageFaultModel::ReadVerdict verdict;
+  if (faults_ != nullptr) verdict = faults_->judge_read();
+  const des::Duration penalty = degrade_penalty(bytes);
+  if (verdict.io_error) data.clear();
   auto payload = std::make_shared<std::vector<std::byte>>(std::move(data));
-  disk_.submit(bytes, [this, to, bytes, payload, on_read = std::move(on_read)]() mutable {
-    host_link_.submit(bytes, [this, to, bytes, payload, on_read = std::move(on_read)]() mutable {
-      network_->transfer(host_node_, to, bytes, Traffic::kCheckpoint,
-                         [payload, on_read = std::move(on_read)] {
-        if (on_read) on_read(std::move(*payload));
+  const IoStatus status = verdict.io_error ? IoStatus::kIoError : IoStatus::kOk;
+  // The failed read is timed like the successful one would have been: the
+  // disk did the work before the error surfaced.
+  disk_.submit(bytes, [this, to, bytes, payload, status, penalty,
+                       on_read = std::move(on_read)]() mutable {
+    auto deliver = [this, to, bytes, payload, status,
+                    on_read = std::move(on_read)]() mutable {
+      host_link_.submit(bytes, [this, to, bytes, payload, status,
+                                on_read = std::move(on_read)]() mutable {
+        network_->transfer(host_node_, to, bytes, Traffic::kCheckpoint,
+                           [payload, status, on_read = std::move(on_read)] {
+          if (on_read) on_read(std::move(*payload), status);
+        });
       });
-    });
+    };
+    if (penalty > des::Duration::zero()) {
+      sim_->schedule_after(penalty, std::move(deliver));
+    } else {
+      deliver();
+    }
   });
 }
 
 std::vector<std::byte> StableStorage::read_blocking(des::Process& self, NodeId to,
-                                                    const std::string& key) {
+                                                    const std::string& key,
+                                                    IoStatus* status) {
   des::Completion done(*sim_);
-  auto result = std::make_shared<std::vector<std::byte>>();
-  read(to, key, [result, cb = done.callback()](std::vector<std::byte> data) {
-    *result = std::move(data);
+  auto result = std::make_shared<std::pair<std::vector<std::byte>, IoStatus>>();
+  read(to, key, [result, cb = done.callback()](std::vector<std::byte> data, IoStatus s) {
+    result->first = std::move(data);
+    result->second = s;
     cb();
   });
   done.await(self);
-  return std::move(*result);
+  if (status != nullptr) *status = result->second;
+  return std::move(result->first);
 }
 
 std::size_t StableStorage::size(const std::string& key) const {
@@ -92,6 +154,7 @@ void StableStorage::erase(const std::string& key) {
   const auto it = files_.find(key);
   if (it == files_.end()) return;
   total_bytes_ -= it->second.size();
+  bytes_reclaimed_ += it->second.size();
   files_.erase(it);
 }
 
@@ -118,7 +181,10 @@ void StableStorage::reset_stats() noexcept {
   disk_.reset_stats();
   bytes_written_ = 0;
   writes_completed_ = 0;
+  writes_failed_ = 0;
+  bytes_reclaimed_ = 0;
   peak_bytes_ = total_bytes_;
+  if (faults_ != nullptr) faults_->reset_counters();
 }
 
 }  // namespace chk::xplorer

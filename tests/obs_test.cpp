@@ -124,11 +124,14 @@ TEST(Attribution, BucketsSumToMeasuredOverheadForEveryScheme) {
 
     double blocked = 0, frozen = 0, interference = 0;
     for (const obs::RankBuckets& rank : report.ranks) {
-      // The five window buckets partition each rank's blocking windows.
+      // The six window buckets partition each rank's blocking windows
+      // (storage_retry_wait is zero here: no storage faults installed).
       EXPECT_NEAR(rank.sync_wait_s + rank.mem_copy_s + rank.stable_write_s +
-                      rank.storage_contention_s + rank.logging_s,
+                      rank.storage_contention_s + rank.logging_s +
+                      rank.storage_retry_wait_s,
                   rank.blocked_total_s, 1e-9)
           << to_string(scheme);
+      EXPECT_EQ(rank.storage_retry_wait_s, 0.0) << to_string(scheme);
       EXPECT_NEAR(rank.bucket_sum_s(), rank.total_s(), 1e-9) << to_string(scheme);
       EXPECT_GE(rank.sync_wait_s, 0.0) << to_string(scheme);
       blocked += rank.blocked_total_s;

@@ -98,7 +98,7 @@ TEST(StableStorage, DiscardInflightWritesDropsThePayload) {
   const std::vector<std::byte> blob(4096);
 
   bool durable = false;
-  storage.write(0, "ckpt/p0/v00000001", blob, [&durable] { durable = true; });
+  storage.write(0, "ckpt/p0/v00000001", blob, [&durable](xplorer::IoStatus) { durable = true; });
   EXPECT_EQ(storage.inflight_writes(), 1u);
 
   // Let the pipeline advance partway (strictly inside the uncontended write
@@ -119,7 +119,7 @@ TEST(StableStorage, DiscardInflightWritesDropsThePayload) {
   // A write submitted after the crash belongs to the new generation and
   // completes normally.
   bool durable2 = false;
-  storage.write(0, "ckpt/p0/v00000001", blob, [&durable2] { durable2 = true; });
+  storage.write(0, "ckpt/p0/v00000001", blob, [&durable2](xplorer::IoStatus) { durable2 = true; });
   sim.run();
   EXPECT_TRUE(durable2);
   EXPECT_TRUE(storage.exists("ckpt/p0/v00000001"));

@@ -2,11 +2,15 @@
 // network contention, node CPU model, stable storage.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "des/process.hpp"
 #include "des/simulator.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
 #include "xplorer/machine.hpp"
+#include "xplorer/storage_fault.hpp"
 
 namespace chk::xplorer {
 namespace {
@@ -329,6 +333,59 @@ TEST(Storage, OverwriteReplacesVersion) {
     EXPECT_EQ(machine.storage().size("k"), 300u);
   });
   sim.run();
+}
+
+TEST(Storage, EraseAccountsReclaimedBytesExactly) {
+  Simulator sim;
+  Machine machine(sim, test_config());
+  auto& storage = machine.storage();
+  sim.spawn("p", [&](Process& self) {
+    storage.write_blocking(self, 0, "ckpt/p0/v1", std::vector<std::byte>(400));
+    storage.write_blocking(self, 0, "ckpt/p0/v2", std::vector<std::byte>(600));
+    EXPECT_EQ(storage.bytes_reclaimed(), 0u);
+    storage.erase("ckpt/p0/v1");
+    EXPECT_EQ(storage.bytes_reclaimed(), 400u);
+    // Erasing a missing key is a no-op for every counter.
+    storage.erase("ckpt/p0/v1");
+    storage.erase("never-written");
+    EXPECT_EQ(storage.bytes_reclaimed(), 400u);
+    EXPECT_EQ(storage.total_bytes(), 600u);
+    storage.erase("ckpt/p0/v2");
+    EXPECT_EQ(storage.bytes_reclaimed(), 1000u);
+    EXPECT_EQ(storage.total_bytes(), 0u);
+    // Overwrites replace the old version without counting as reclamation.
+    storage.write_blocking(self, 0, "k", std::vector<std::byte>(100));
+    storage.write_blocking(self, 0, "k", std::vector<std::byte>(50));
+    EXPECT_EQ(storage.bytes_reclaimed(), 1000u);
+    EXPECT_EQ(storage.total_bytes(), 50u);
+    EXPECT_EQ(storage.keys_with_prefix("ckpt/").size(), 0u);
+  });
+  sim.run();
+}
+
+TEST(Storage, FailedWritesAreCountedSeparatelyFromCompletions) {
+  Simulator sim;
+  Machine machine(sim, test_config());
+  auto& storage = machine.storage();
+  StorageFaultConfig faults;
+  faults.write_error = 0.999;
+  storage.set_faults(faults, util::Rng(9));
+  std::size_t failed = 0, ok = 0;
+  sim.spawn("p", [&](Process& self) {
+    for (int i = 0; i < 10; ++i) {
+      const auto status = storage.write_blocking(self, 0, util::format("k{}", i),
+                                                 std::vector<std::byte>(100));
+      (status == IoStatus::kOk ? ok : failed) += 1;
+    }
+  });
+  sim.run();
+  EXPECT_EQ(failed + ok, 10u);
+  EXPECT_GE(failed, 1u);
+  EXPECT_EQ(storage.writes_failed(), failed);
+  EXPECT_EQ(storage.writes_completed(), ok);
+  // Failed writes never contribute durable bytes.
+  EXPECT_EQ(storage.bytes_written(), ok * 100u);
+  EXPECT_EQ(storage.total_bytes(), ok * 100u);
 }
 
 TEST(Storage, KeysWithPrefix) {
