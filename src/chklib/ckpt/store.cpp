@@ -12,17 +12,6 @@ std::string CheckpointStore::log_key(Rank rank, std::uint32_t index) {
   return image_key(rank, index) + ".log";
 }
 
-void CheckpointStore::write_image(Rank rank, const CheckpointImage& image,
-                                  std::function<void(xplorer::IoStatus)> on_done) {
-  const std::uint32_t index = image.index;
-  if (observer_ != nullptr) observer_->on_image_write_begin(rank, index);
-  storage_->write(rank, image_key(rank, index), image.serialize(),
-                  [this, rank, index, on_done = std::move(on_done)](xplorer::IoStatus s) {
-                    if (observer_ != nullptr) observer_->on_image_write_end(rank, index);
-                    if (on_done) on_done(s);
-                  });
-}
-
 xplorer::IoStatus CheckpointStore::write_image_blocking(des::Process& self, Rank rank,
                                                         const CheckpointImage& image,
                                                         WriteContext context) {

@@ -47,11 +47,6 @@ class CheckpointStore {
   void set_observer(InvariantObserver* observer) noexcept { observer_ = observer; }
   [[nodiscard]] InvariantObserver* observer() const noexcept { return observer_; }
 
-  /// Timed write of a serialized image from `rank`'s node; on_done runs
-  /// when the bytes are on disk (or the single attempt failed — the async
-  /// path has no process context to back off in, so it does not retry).
-  void write_image(Rank rank, const CheckpointImage& image,
-                   std::function<void(xplorer::IoStatus)> on_done);
   /// Blocking write with bounded retries; kIoError is terminal.
   xplorer::IoStatus write_image_blocking(des::Process& self, Rank rank,
                                          const CheckpointImage& image,

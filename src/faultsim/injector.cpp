@@ -26,6 +26,9 @@ FaultInjector::FaultInjector(chklib::Runtime& runtime, chklib::RecoveryManager& 
     : rt_(&runtime),
       recovery_(&recovery),
       plan_(plan),
+      // chklint:allow(unique-fork-tags): plan.stream is a per-run campaign
+      // index, not a domain tag — the literal kInjectorRngTag parent already
+      // decorrelates this family from every other fault stream.
       rng_(runtime.fork_rng(kInjectorRngTag).fork(plan.stream)) {}
 
 FaultInjector::~FaultInjector() {

@@ -1,0 +1,15 @@
+// Fixture: positive control for bucket-partition-registration. The
+// "mystery_s" bucket is emitted here but absent from partition.txt, so the
+// exact-partition test would never catch it drifting.
+#include "json_stub.hpp"
+
+namespace fixture {
+
+json::Value buckets_to_json(const RankBuckets& b) {
+  json::Value v = json::Value::object();
+  v.set("sync_wait_s", json::Value::number(b.sync_wait_s));
+  v.set("mystery_s", json::Value::number(b.mystery_s));
+  return v;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Token-level stand-ins; fixtures are linted, never compiled.
+#pragma once
+
+namespace fixture {
+struct RankBuckets {
+  double sync_wait_s;
+  double mystery_s;
+};
+namespace json {
+struct Value {
+  static Value object();
+  static Value number(double);
+  void set(const char* key, Value v);
+};
+}  // namespace json
+}  // namespace fixture

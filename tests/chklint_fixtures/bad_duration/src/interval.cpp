@@ -1,0 +1,15 @@
+// Fixture: positive control for duration-arithmetic — the PR-5 bug class.
+// Duration's * and / take int64, so a floating operand converts and
+// truncates silently instead of scaling.
+#include "time_stub.hpp"
+
+namespace fixture {
+
+des::Duration stagger_delay(des::Duration interval, double factor, Disk& disk) {
+  des::Duration half = interval / 2.0;             // truncates: 2.0 -> 2
+  des::Duration jittered = interval * 1.5;         // truncates: 1.5 -> 1
+  des::Duration svc = disk.service_time(4096) * factor;  // factor is double
+  return half + jittered + svc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Token-level stand-ins; fixtures are linted, never compiled.
+#pragma once
+#include <cstdint>
+
+namespace fixture {
+namespace des {
+struct Duration {
+  Duration operator+(Duration) const;
+  Duration operator*(std::int64_t) const;
+  Duration operator/(std::int64_t) const;
+};
+}  // namespace des
+struct Disk {
+  des::Duration service_time(std::size_t bytes);
+};
+}  // namespace fixture

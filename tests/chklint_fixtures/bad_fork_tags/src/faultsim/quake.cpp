@@ -1,0 +1,13 @@
+// Fixture: positive control for unique-fork-tags. The 0xAB1E literal here
+// collides with the one in src/timers.cpp, and the runtime-valued tag is
+// non-literal fault-domain code.
+#include "rng_stub.hpp"
+
+namespace fixture {
+
+util::Rng quake_stream(util::Rng& parent, const Plan& plan) {
+  util::Rng collided = parent.fork(0xAB1Eu);  // collides with timers.cpp
+  return collided.fork(plan.stream);          // non-literal in fault domain
+}
+
+}  // namespace fixture

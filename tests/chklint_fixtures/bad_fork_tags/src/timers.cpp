@@ -1,0 +1,9 @@
+// Fixture: the canonical owner of tag 0xAB1E (reported sites are the later
+// duplicates, in path order).
+#include "rng_stub.hpp"
+
+namespace fixture {
+
+util::Rng timer_stream(util::Rng& parent) { return parent.fork(0xAB1Eu); }
+
+}  // namespace fixture

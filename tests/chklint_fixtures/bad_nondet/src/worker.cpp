@@ -1,0 +1,22 @@
+// Fixture: positive control for no-ambient-nondeterminism. Every construct
+// in here is banned outside util/rng.*.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned jitter_seed() {
+  std::random_device rd;                     // banned: hardware entropy
+  std::mt19937 gen(rd());                    // banned: raw engine
+  return static_cast<unsigned>(gen());
+}
+
+long stamp() {
+  auto wall = std::chrono::system_clock::now();  // banned: wall clock
+  (void)wall;
+  return time(nullptr) + rand();             // banned: libc time + rand
+}
+
+}  // namespace fixture

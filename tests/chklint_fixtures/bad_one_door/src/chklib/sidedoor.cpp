@@ -1,0 +1,15 @@
+// Fixture: positive control for one-door-storage — chklib code doing
+// blocking stable-storage I/O without going through the StorageClient.
+#include "stubs.hpp"
+
+namespace fixture {
+
+void sneaky_checkpoint(Runtime& rt, des::Process& self, std::vector<std::byte> blob) {
+  // Both receiver shapes the rule recognizes: a storage() accessor chain
+  // and a storage_ member pointer.
+  rt.store().storage().write_blocking(self, 0, "ckpt/p0/v1", std::move(blob));
+  std::vector<std::byte> out = rt.storage_->read_blocking(self, 0, "ckpt/p0/v1");
+  (void)out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Token-level stand-ins; fixtures are linted, never compiled.
+#pragma once
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fixture {
+namespace des {
+struct Process {};
+}  // namespace des
+
+struct StableStorage {
+  void write_blocking(des::Process&, int, const std::string&, std::vector<std::byte>);
+  std::vector<std::byte> read_blocking(des::Process&, int, const std::string&);
+};
+struct Store {
+  StableStorage& storage();
+};
+struct Runtime {
+  Store& store();
+  StableStorage* storage_;
+};
+}  // namespace fixture

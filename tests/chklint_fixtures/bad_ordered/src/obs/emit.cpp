@@ -1,0 +1,17 @@
+// Fixture: positive control for ordered-emission — hash containers in a
+// JSON emission path make the artifact's byte order implementation-defined.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::string counters_to_json(const std::unordered_map<std::string, long>& counters) {
+  std::string out = "{";
+  for (const auto& [name, value] : counters) {
+    out += "\"" + name + "\":" + std::to_string(value) + ",";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: negative control. Disciplined code in an emission path — ordered
+// containers, forked RNG streams with unique literal tags, Duration::scaled
+// for fractional arithmetic, storage I/O behind the client door.
+#include <map>
+#include <string>
+
+#include "stubs.hpp"
+
+namespace fixture {
+
+std::string counters_to_json(const std::map<std::string, long>& counters) {
+  std::string out = "{";
+  for (const auto& [name, value] : counters) {
+    out += "\"" + name + "\":" + std::to_string(value) + ",";
+  }
+  out += "}";
+  return out;
+}
+
+des::Duration backoff(des::Duration initial, double multiplier) {
+  // Fractional scaling goes through Duration::scaled, never operator*.
+  return initial.scaled(multiplier);
+}
+
+util::Rng emit_stream(util::Rng& parent) {
+  // Integer multiplies of a Duration are exact and allowed.
+  des::Duration two = des::Duration{} * 2;
+  (void)two;
+  return parent.fork(0xE317u);
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Token-level stand-ins; fixtures are linted, never compiled.
+#pragma once
+#include <cstdint>
+
+namespace fixture {
+namespace des {
+struct Duration {
+  Duration operator*(std::int64_t) const;
+  Duration scaled(double) const;
+};
+}  // namespace des
+namespace util {
+struct Rng {
+  Rng fork(std::uint64_t tag);
+};
+}  // namespace util
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: the same violations as the positive controls, every one carrying
+// a `chklint:allow` justification — the run must come back clean.
+#include <string>
+#include <unordered_map>
+#include "stubs.hpp"
+
+namespace fixture {
+
+// chklint:allow(ordered-emission): keys are sorted into a vector before
+// serialization below; the container itself never drives emission order.
+std::string lookup(const std::unordered_map<std::string, long>& idx) {
+  return std::to_string(idx.size());
+}
+
+util::Rng tags(util::Rng& parent) {
+  util::Rng a = parent.fork(0xD0D0u);
+  util::Rng b = a.fork(0xD0D0u);  // chklint:allow(unique-fork-tags): reuse is the point of this fixture.
+  return b;
+}
+
+des::Duration shrink(des::Duration d) {
+  return d * 0.5;  // chklint:allow(duration-arithmetic): fixture demonstrates inline suppression.
+}
+
+}  // namespace fixture

@@ -1,0 +1,211 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace chk::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Multi-character punctuators the rules care about (longest first).
+constexpr std::array<std::string_view, 21> kPuncts = {
+    "->*", "...", "<<=", ">>=", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=",
+};
+
+/// Pull rule names out of one `chklint:allow(...)` argument list starting
+/// at the character after '('. Returns the parsed names.
+std::set<std::string> parse_allow_args(std::string_view text, std::size_t pos) {
+  std::set<std::string> rules;
+  std::string current;
+  for (; pos < text.size() && text[pos] != ')'; ++pos) {
+    const char c = text[pos];
+    if (ident_char(c) || c == '-' || c == '*') {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      rules.insert(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) rules.insert(current);
+  return rules;
+}
+
+/// Scan a comment's text for allow directives and record them.
+void scan_comment(SourceFile& file, std::string_view text, std::uint32_t line) {
+  static constexpr std::string_view kFileTag = "chklint:allow-file(";
+  static constexpr std::string_view kLineTag = "chklint:allow(";
+  for (std::size_t pos = 0; (pos = text.find(kFileTag, pos)) != std::string_view::npos;
+       ++pos) {
+    for (auto& rule : parse_allow_args(text, pos + kFileTag.size()))
+      file.file_allows.insert(rule);
+  }
+  for (std::size_t pos = 0; (pos = text.find(kLineTag, pos)) != std::string_view::npos;
+       ++pos) {
+    for (auto& rule : parse_allow_args(text, pos + kLineTag.size()))
+      file.line_allows[line].insert(rule);
+  }
+}
+
+}  // namespace
+
+bool SourceFile::allows(const std::string& rule, std::uint32_t line) const {
+  if (file_allows.contains(rule) || file_allows.contains("*")) return true;
+  const auto covers = [&](std::uint32_t l) {
+    const auto it = line_allows.find(l);
+    return it != line_allows.end() &&
+           (it->second.contains(rule) || it->second.contains("*"));
+  };
+  if (covers(line)) return true;
+  // A directive on a comment-only line applies to the next code line; walk
+  // up through any run of comment/blank lines above the finding.
+  for (std::uint32_t l = line; l > 1;) {
+    --l;
+    if (code_lines.contains(l)) break;
+    if (covers(l)) return true;
+  }
+  return false;
+}
+
+void lex(SourceFile& file) {
+  const std::string_view src = file.content;
+  std::size_t i = 0;
+  std::uint32_t line = 1;
+  std::uint32_t col = 1;
+  bool at_line_start = true;  // only whitespace seen so far on this line
+
+  const auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+        at_line_start = true;
+      } else {
+        ++col;
+      }
+    }
+  };
+  const auto push = [&](Tok kind, std::size_t begin, std::uint32_t tline,
+                        std::uint32_t tcol) {
+    file.tokens.push_back(Token{kind, src.substr(begin, i - begin), tline, tcol});
+    file.code_lines.insert(tline);
+    at_line_start = false;
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v') {
+      advance(1);
+      continue;
+    }
+    const std::uint32_t tline = line;
+    const std::uint32_t tcol = col;
+
+    // Preprocessor directive: skip the full (possibly continued) line.
+    if (c == '#' && at_line_start) {
+      while (i < src.size()) {
+        if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (src[i] == '\n') break;
+        advance(1);
+      }
+      continue;
+    }
+
+    // Comments (scanned for suppression directives, then dropped).
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      const std::size_t begin = i;
+      while (i < src.size() && src[i] != '\n') advance(1);
+      scan_comment(file, src.substr(begin, i - begin), tline);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const std::size_t begin = i;
+      advance(2);
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) advance(1);
+      advance(2);
+      scan_comment(file, src.substr(begin, i - begin), tline);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      const std::size_t begin = i;
+      advance(2);
+      std::string delim;
+      while (i < src.size() && src[i] != '(') {
+        delim.push_back(src[i]);
+        advance(1);
+      }
+      const std::string close = ")" + delim + "\"";
+      while (i < src.size() && src.substr(i, close.size()) != close) advance(1);
+      advance(close.size());
+      push(Tok::kString, begin, tline, tcol);
+      continue;
+    }
+
+    // String / char literals with escapes.
+    if (c == '"' || c == '\'') {
+      const std::size_t begin = i;
+      advance(1);
+      while (i < src.size() && src[i] != c) {
+        if (src[i] == '\\' && i + 1 < src.size()) advance(1);
+        advance(1);
+      }
+      advance(1);
+      push(c == '"' ? Tok::kString : Tok::kChar, begin, tline, tcol);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      const std::size_t begin = i;
+      while (i < src.size() && ident_char(src[i])) advance(1);
+      push(Tok::kIdent, begin, tline, tcol);
+      continue;
+    }
+
+    if (digit(c) || (c == '.' && i + 1 < src.size() && digit(src[i + 1]))) {
+      const std::size_t begin = i;
+      while (i < src.size()) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          advance(1);
+        } else if ((d == '+' || d == '-') && i > begin &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                    src[i - 1] == 'P')) {
+          advance(1);  // exponent sign
+        } else {
+          break;
+        }
+      }
+      push(Tok::kNumber, begin, tline, tcol);
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    std::size_t len = 1;
+    for (const std::string_view p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        len = p.size();
+        break;
+      }
+    }
+    {
+      const std::size_t begin = i;
+      advance(len);
+      push(Tok::kPunct, begin, tline, tcol);
+    }
+  }
+}
+
+}  // namespace chk::lint

@@ -1,0 +1,51 @@
+// chklint token stream.
+//
+// A deliberately small C++ lexer: enough structure for the determinism
+// rules (identifiers, literals, punctuation, suppression comments), none
+// of the cost of a real frontend. Preprocessor directives are skipped
+// whole-line, comments are scanned for `chklint:allow(...)` directives and
+// then dropped, and every surviving token keeps its 1-based line/column so
+// findings are clickable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chk::lint {
+
+enum class Tok : std::uint8_t { kIdent, kNumber, kString, kChar, kPunct, kEof };
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string_view text;  ///< view into SourceFile::content
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+};
+
+struct SourceFile {
+  std::string path;     ///< root-relative, '/'-separated
+  std::string content;  ///< owns the bytes every Token::text points into
+  std::vector<Token> tokens;
+
+  /// `// chklint:allow(rule-a, rule-b)` — rules allowed on that line. A
+  /// directive on a comment-only line also covers the next code line.
+  std::map<std::uint32_t, std::set<std::string>> line_allows;
+  /// `// chklint:allow-file(rule)` — rules allowed anywhere in the file.
+  std::set<std::string> file_allows;
+  /// Lines that hold at least one token (to tell comment-only lines apart).
+  std::set<std::uint32_t> code_lines;
+
+  /// True if `rule` is suppressed at `line` by an allow directive on the
+  /// same line, on a run of comment-only lines directly above it, or
+  /// file-wide. "*" allows every rule.
+  [[nodiscard]] bool allows(const std::string& rule, std::uint32_t line) const;
+};
+
+/// Tokenize `file.content` into `file.tokens` and the suppression maps.
+void lex(SourceFile& file);
+
+}  // namespace chk::lint
