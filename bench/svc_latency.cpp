@@ -1,0 +1,307 @@
+// svc latency sweep: the five paper schemes measured by what a live
+// request-serving workload feels — tail latency SLOs — instead of batch
+// completion time.
+//
+// Each cell hosts the sharded KV service (src/svc) on `--nodes` ranks,
+// drives it with an open-loop Poisson client population at one arrival
+// rate, runs one checkpoint scheme, and (at faulty points) a Poisson crash
+// process with the given MTBF. Per-request end-to-end latency is measured
+// against the *scheduled* arrival instant, so freezes, checkpoint drains
+// and recovery windows land in the tail exactly as a live population would
+// experience them. Every run must reproduce the simulator-free LWW
+// reference digest — faults may cost latency, never data.
+//
+//   ./svc_latency [--nodes=8] [--rates=200,400] [--mtbfs=0,1.5]
+//                 [--horizon=4] [--interval=0.8] [--max-failures=2]
+//                 [--seed=2026] [--json-out=BENCH_svc.json] [--quick]
+//
+// --rates are per-rank arrival rates (Hz); --mtbfs are crash-process MTBFs
+// in seconds, 0 = fault-free. --quick shrinks the sweep to one rate and
+// {fault-free, one faulty} points. Output is byte-identical across repeats
+// with the same seed.
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "svc/kvstore.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace chk;
+
+std::vector<double> parse_list(const std::string& flag, const std::string& csv,
+                               double min, double max) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) {
+      const std::string tok = csv.substr(start, end - start);
+      char* tail = nullptr;
+      const double v = std::strtod(tok.c_str(), &tail);
+      if (tail != tok.c_str() + tok.size() || v != v) {
+        throw std::invalid_argument(flag + ": expected a number, got \"" + tok + "\"");
+      }
+      if (v < min || v > max) {
+        throw std::invalid_argument(flag + ": value out of range: " + tok);
+      }
+      out.push_back(v);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) throw std::invalid_argument(flag + ": empty list");
+  return out;
+}
+
+const std::vector<harness::Scheme>& sweep_schemes() {
+  static const std::vector<harness::Scheme> schemes{
+      harness::Scheme::kCoordNB, harness::Scheme::kIndep, harness::Scheme::kCoordNBM,
+      harness::Scheme::kIndepM, harness::Scheme::kCoordNBMS};
+  return schemes;
+}
+
+/// One cell of the sweep: the experiment outcome plus the merged workload
+/// metrics rank 0 deposited at drain.
+struct Cell {
+  harness::ExperimentResult result;
+  svc::SvcMetrics metrics;
+};
+
+/// Merged latency counts as a quantile-ready snapshot (edges in seconds).
+obs::HistogramSnapshot latency_snapshot(const svc::SvcMetrics& m) {
+  obs::HistogramSnapshot snap;
+  snap.edges = obs::LogHistogram::make_edges(svc::kLatMinExp, svc::kLatMaxExp, 1e-9);
+  snap.counts = m.latency_counts;
+  if (snap.counts.empty()) snap.counts.assign(svc::kLatBuckets, 0);
+  for (const std::uint64_t c : snap.counts) snap.total_count += c;
+  snap.sum = static_cast<double>(m.latency_sum_ns) * 1e-9;
+  return snap;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+
+  std::vector<double> rates;
+  std::vector<double> mtbfs;
+  try {
+    rates = parse_list("--rates", cli.get("rates", quick ? "300" : "200,400"), 1.0, 1e6);
+    mtbfs = parse_list("--mtbfs", cli.get("mtbfs", "0,1.5"), 0.0, 1e9);
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "svc_latency: %s\n", err.what());
+    return 2;
+  }
+  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 8));
+  const double horizon = cli.get_double("horizon", 4.0);
+  const double interval = cli.get_double("interval", 0.8);
+  const auto max_failures = static_cast<std::uint32_t>(cli.get_int("max-failures", 2));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+  if (nodes < 1 || nodes > 64 || horizon <= 0 || interval <= 0) {
+    std::fprintf(stderr, "svc_latency: --nodes in [1,64], --horizon/--interval > 0\n");
+    return 2;
+  }
+
+  svc::SvcParams base_params;
+  base_params.horizon_s = horizon;
+
+  // Every cell must land on this digest: the shard contents are a pure
+  // function of the generated request set (LWW), so scheme and fault
+  // timing may shift latency but never the data. One reference per rate.
+  std::vector<double> references;
+  references.reserve(rates.size());
+  for (const double rate : rates) {
+    svc::SvcParams p = base_params;
+    p.arrival_hz = rate;
+    references.push_back(svc::svc_reference_digest(p, nodes, seed));
+  }
+
+  const std::size_t columns = sweep_schemes().size();
+  std::vector<Cell> cells(rates.size() * mtbfs.size() * columns);
+  {
+    std::vector<std::future<Cell>> pending;
+    pending.reserve(cells.size());
+    for (const double rate : rates) {
+      for (const double mtbf : mtbfs) {
+        for (const harness::Scheme scheme : sweep_schemes()) {
+          svc::SvcParams params = base_params;
+          params.arrival_hz = rate;
+          params.sink = std::make_shared<svc::SvcMetrics>();
+          harness::ExperimentConfig config;
+          config.label = util::format("svc-{}hz", rate);
+          config.app = svc::make_svc(params);
+          config.scheme = scheme;
+          config.interval = des::Duration::seconds(interval);
+          config.checkpoints = 0;  // keep checkpointing until the service drains
+          config.seed = seed;
+          if (mtbf > 0) {
+            faultsim::FaultPlan crashes;
+            crashes.mtbf = des::Duration::seconds(mtbf);
+            crashes.max_failures = max_failures;
+            crashes.stream = 1;
+            config.faults = crashes;
+          }
+          pending.push_back(std::async(std::launch::async, [config, params] {
+            Cell cell;
+            cell.result = harness::run_experiment(config);
+            cell.metrics = *params.sink;
+            return cell;
+          }));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = pending[i].get();
+  }
+
+  bool all_ok = true;
+  {
+    std::size_t index = 0;
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      for (std::size_t m = 0; m < mtbfs.size(); ++m) {
+        for (std::size_t s = 0; s < columns; ++s) {
+          const Cell& cell = cells[index++];
+          all_ok = all_ok && cell.result.digest == references[r] &&
+                   cell.result.invariant_violations == 0 &&
+                   cell.metrics.completed == cell.metrics.issued;
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> header{"rate", "mtbf"};
+  for (const harness::Scheme scheme : sweep_schemes()) header.emplace_back(to_string(scheme));
+  util::Table table(header);
+  std::size_t index = 0;
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    for (std::size_t m = 0; m < mtbfs.size(); ++m) {
+      std::vector<std::string> row{util::Table::fixed(rates[r], 0),
+                                   util::Table::fixed(mtbfs[m], 1)};
+      for (std::size_t s = 0; s < columns; ++s) {
+        const Cell& cell = cells[index++];
+        const obs::HistogramSnapshot snap = latency_snapshot(cell.metrics);
+        const double p50 = obs::histogram_quantile(snap, 0.50);
+        const double p99 = obs::histogram_quantile(snap, 0.99);
+        const double p999 = obs::histogram_quantile(snap, 0.999);
+        row.push_back(util::format("{}/{}/{} ms rec={}",
+                                   util::Table::fixed(p50 * 1e3, 2),
+                                   util::Table::fixed(p99 * 1e3, 1),
+                                   util::Table::fixed(p999 * 1e3, 1),
+                                   cell.result.recoveries.size()));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::fputs(
+      table
+          .render(util::format(
+              "svc on {} nodes: end-to-end request latency p50/p99/p999 "
+              "(upper-edge bounds) and recovery count per scheme; open-loop "
+              "Poisson arrivals per rank, horizon {} s, checkpoint interval "
+              "{} s, crash MTBF per row (0 = fault-free, <= {} failures); "
+              "digests + invariants + open-loop conservation verified: {})",
+              nodes, util::Table::fixed(horizon, 1), util::Table::fixed(interval, 1),
+              max_failures, all_ok ? "yes" : "NO"))
+          .c_str(),
+      stdout);
+
+  using obs::json::Value;
+  Value doc = Value::object();
+  doc.set("table", Value::string("svc_latency"));
+  doc.set("nodes", Value::number(std::uint64_t{nodes}));
+  doc.set("seed", Value::number(seed));
+  doc.set("horizon_s", Value::number(horizon));
+  doc.set("interval_s", Value::number(interval));
+  doc.set("max_failures", Value::number(std::uint64_t{max_failures}));
+  doc.set("all_verified", Value::boolean(all_ok));
+  Value row_array = Value::array();
+  index = 0;
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    for (std::size_t m = 0; m < mtbfs.size(); ++m) {
+      Value entry = Value::object();
+      entry.set("arrival_hz", Value::number(rates[r]));
+      entry.set("mtbf_s", Value::number(mtbfs[m]));
+      entry.set("reference_digest", Value::number(references[r]));
+      Value cell_array = Value::array();
+      for (std::size_t s = 0; s < columns; ++s) {
+        const Cell& cell = cells[index++];
+        const obs::HistogramSnapshot snap = latency_snapshot(cell.metrics);
+        Value cv = Value::object();
+        cv.set("scheme", Value::string(std::string(to_string(cell.result.scheme))));
+        cv.set("exec_s", Value::number(cell.result.exec_time_s));
+        cv.set("issued", Value::number(cell.metrics.issued));
+        cv.set("completed", Value::number(cell.metrics.completed));
+        cv.set("hits", Value::number(cell.metrics.hits));
+        cv.set("live_keys", Value::number(cell.metrics.live_keys));
+        cv.set("live_bytes", Value::number(cell.metrics.live_bytes));
+        cv.set("lat_p50_s", Value::number(obs::histogram_quantile(snap, 0.50)));
+        cv.set("lat_p99_s", Value::number(obs::histogram_quantile(snap, 0.99)));
+        cv.set("lat_p999_s", Value::number(obs::histogram_quantile(snap, 0.999)));
+        cv.set("lat_mean_s",
+               Value::number(snap.total_count == 0
+                                 ? 0.0
+                                 : snap.sum / static_cast<double>(snap.total_count)));
+        cv.set("lat_max_s",
+               Value::number(static_cast<double>(cell.metrics.latency_max_ns) * 1e-9));
+        cv.set("queue_wait_s",
+               Value::number(static_cast<double>(cell.metrics.queue_wait_sum_ns) * 1e-9));
+        Value counts = Value::array();
+        for (const std::uint64_t c : snap.counts) counts.push_back(Value::number(c));
+        cv.set("lat_counts", std::move(counts));
+        // Recovery-downtime windows: when each failure hit and how long the
+        // service was down until every process was restarted.
+        Value recoveries = Value::array();
+        double downtime = 0;
+        for (const harness::RecoveryReport& rec : cell.result.recoveries) {
+          Value rv = Value::object();
+          rv.set("failed_at_s", Value::number(rec.failed_at.to_seconds()));
+          rv.set("failed_rank", Value::number(std::uint64_t{rec.failed_rank}));
+          rv.set("downtime_s", Value::number(rec.recovery_latency.to_seconds()));
+          recoveries.push_back(std::move(rv));
+          downtime += rec.recovery_latency.to_seconds();
+        }
+        cv.set("recoveries", std::move(recoveries));
+        cv.set("downtime_total_s", Value::number(downtime));
+        // The measured checkpoint-image curve: the shard grows and shrinks
+        // with the put/delete mix, so bytes per capture is data, not a
+        // constant.
+        Value images = Value::array();
+        for (const chklib::ProtocolStats::ImageRecord& img : cell.result.image_log) {
+          Value iv = Value::object();
+          iv.set("index", Value::number(std::uint64_t{img.index}));
+          iv.set("rank", Value::number(std::uint64_t{img.rank}));
+          iv.set("bytes", Value::number(img.bytes));
+          iv.set("at_s", Value::number(static_cast<double>(img.at_ns) * 1e-9));
+          iv.set("delta", Value::boolean(img.delta));
+          images.push_back(std::move(iv));
+        }
+        cv.set("image_log", std::move(images));
+        cv.set("bytes_written", Value::number(cell.result.bytes_written));
+        cv.set("local_checkpoints", Value::number(cell.result.local_checkpoints));
+        cv.set("committed_rounds", Value::number(std::uint64_t{cell.result.committed_rounds}));
+        cv.set("digest_ok", Value::boolean(cell.result.digest == references[r]));
+        cv.set("invariant_violations", Value::number(cell.result.invariant_violations));
+        cell_array.push_back(std::move(cv));
+      }
+      entry.set("cells", std::move(cell_array));
+      row_array.push_back(std::move(entry));
+    }
+  }
+  doc.set("rows", std::move(row_array));
+  const std::string path = cli.get("json-out", "BENCH_svc.json");
+  obs::write_text_file(path, doc.dump() + "\n");
+  std::printf("\nWrote %s\n", path.c_str());
+  return all_ok ? 0 : 1;
+}

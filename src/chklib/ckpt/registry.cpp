@@ -7,18 +7,33 @@
 
 namespace chk::chklib {
 
-void CheckpointRegistry::register_region(std::string name, std::span<std::byte> bytes) {
+void CheckpointRegistry::check_unique(const std::string& name) const {
   const bool duplicate = std::any_of(regions_.begin(), regions_.end(),
                                      [&](const Region& r) { return r.name == name; });
   if (duplicate) {
     throw RegistryError(util::format("region '{}' registered twice", name));
   }
-  regions_.push_back(Region{std::move(name), bytes});
+}
+
+void CheckpointRegistry::register_region(std::string name, std::span<std::byte> bytes) {
+  check_unique(name);
+  regions_.push_back(Region{std::move(name), bytes, nullptr, nullptr});
+}
+
+void CheckpointRegistry::register_dynamic(std::string name, DynamicCapture cap,
+                                          DynamicRestore res) {
+  if (!cap || !res) {
+    throw RegistryError(util::format("dynamic region '{}': null accessor", name));
+  }
+  check_unique(name);
+  regions_.push_back(Region{std::move(name), {}, std::move(cap), std::move(res)});
 }
 
 std::size_t CheckpointRegistry::state_bytes() const noexcept {
   std::size_t total = 0;
-  for (const auto& region : regions_) total += region.bytes.size();
+  for (const auto& region : regions_) {
+    total += region.dyn_capture ? region.dyn_capture().size() : region.bytes.size();
+  }
   return total;
 }
 
@@ -27,7 +42,7 @@ std::vector<std::byte> CheckpointRegistry::capture() const {
   writer.put<std::uint32_t>(static_cast<std::uint32_t>(regions_.size()));
   for (const auto& region : regions_) {
     writer.put_string(region.name);
-    writer.put_bytes(region.bytes);
+    writer.put_bytes(region.dyn_capture ? region.dyn_capture() : region.bytes);
   }
   return writer.take();
 }
@@ -45,6 +60,10 @@ void CheckpointRegistry::restore(std::span<const std::byte> blob) {
     if (name != region.name) {
       throw RegistryError(
           util::format("restore: region order mismatch ('{}' vs '{}')", name, region.name));
+    }
+    if (region.dyn_restore) {
+      region.dyn_restore(bytes);
+      continue;
     }
     if (bytes.size() != region.bytes.size()) {
       throw RegistryError(util::format("restore: region '{}' size {} != registered {}", name,

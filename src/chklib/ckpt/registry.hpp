@@ -6,9 +6,21 @@
 // matching by name and size. This mirrors CHK-LIB's user-defined
 // checkpointing interface (the application declares its state; the
 // checkpointer thread saves it).
+//
+// Regions come in two kinds. Fixed regions are raw spans that must stay
+// valid (same address, same size) for the registration's lifetime — the
+// right shape for batch kernels whose arrays never resize. Dynamic
+// regions are accessor pairs re-read at every capture, so their size may
+// change between checkpoints (the svc shard grows and shrinks with its
+// put/delete mix); restore resizes the target. Both serialize the same
+// way (name + length-prefixed bytes), so the image wire format — and
+// every consumer of it (checksums, incremental deltas, stable storage) —
+// is unchanged.
 #pragma once
 
 #include <cstddef>
+#include <cstring>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -25,9 +37,20 @@ class RegistryError : public std::runtime_error {
 
 class CheckpointRegistry {
  public:
+  /// Reads the current bytes of a dynamic region (must stay valid only for
+  /// the duration of the capture call).
+  using DynamicCapture = std::function<std::span<const std::byte>()>;
+  /// Writes restored bytes back, resizing the underlying container.
+  using DynamicRestore = std::function<void(std::span<const std::byte>)>;
+
   /// Register a writable region under a unique name. The region must stay
   /// valid (same address, same size) until clear().
   void register_region(std::string name, std::span<std::byte> bytes);
+
+  /// Register a variable-size region through accessors. capture() calls
+  /// `cap` for the current contents; restore() hands the saved bytes to
+  /// `res`, which must resize its target to fit.
+  void register_dynamic(std::string name, DynamicCapture cap, DynamicRestore res);
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>
@@ -41,26 +64,53 @@ class CheckpointRegistry {
     register_region(std::move(name), util::as_writable_bytes_of(v));
   }
 
+  /// Register a vector whose *size* is part of the recoverable state: the
+  /// capture re-reads data()/size() every time, and restore resizes. The
+  /// vector object itself must outlive the registration; its heap buffer
+  /// may move freely.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void register_dynamic_vector(std::string name, std::vector<T>& v) {
+    register_dynamic(
+        std::move(name),
+        [&v]() -> std::span<const std::byte> {
+          return {reinterpret_cast<const std::byte*>(v.data()), v.size() * sizeof(T)};
+        },
+        [&v](std::span<const std::byte> bytes) {
+          if (bytes.size() % sizeof(T) != 0) {
+            throw RegistryError("dynamic vector restore: byte count not a multiple "
+                                "of the element size");
+          }
+          v.resize(bytes.size() / sizeof(T));
+          if (!bytes.empty()) std::memcpy(v.data(), bytes.data(), bytes.size());
+        });
+  }
+
   /// Forget all regions (application restart re-registers).
   void clear() noexcept { regions_.clear(); }
 
   [[nodiscard]] std::size_t region_count() const noexcept { return regions_.size(); }
-  /// Total registered state size in bytes (the checkpoint payload size).
+  /// Total registered state size in bytes (the checkpoint payload size at
+  /// this instant; dynamic regions contribute their current size).
   [[nodiscard]] std::size_t state_bytes() const noexcept;
 
   /// Serialize all regions.
   [[nodiscard]] std::vector<std::byte> capture() const;
 
   /// Copy a captured blob back into the registered regions. Throws
-  /// RegistryError on any name/size mismatch (regions must be registered
-  /// identically across restarts).
+  /// RegistryError on any name mismatch or fixed-region size mismatch
+  /// (regions must be registered identically across restarts); dynamic
+  /// regions accept any saved size.
   void restore(std::span<const std::byte> blob);
 
  private:
   struct Region {
     std::string name;
-    std::span<std::byte> bytes;
+    std::span<std::byte> bytes;  ///< fixed regions only
+    DynamicCapture dyn_capture;  ///< non-null => dynamic region
+    DynamicRestore dyn_restore;
   };
+  void check_unique(const std::string& name) const;
   std::vector<Region> regions_;
 };
 

@@ -44,33 +44,70 @@ const Envelope* Endpoint::peek_match(int src, int tag) const {
   return nullptr;
 }
 
+Envelope Endpoint::consume_match(des::Process& self, int src, int tag,
+                                 std::int64_t wait_start_ns) {
+  // Precondition: peek_match(src, tag) != nullptr.
+  if (tracer_ && wait_start_ns >= 0) {
+    tracer_->span(obs::EventKind::kRecvWait, static_cast<std::uint16_t>(rank_),
+                  wait_start_ns, sim_->now().to_nanos());
+  }
+  // Charge the receive-side CPU cost while the message is still in the
+  // pending queue: a checkpoint captured during this window must see
+  // the message as channel state (it has not reached the application).
+  node_->message_overhead(self, peek_match(src, tag)->payload.size());
+  // From here to the return there is no suspension point: removal,
+  // consumption bookkeeping and delivery hooks are atomic with respect
+  // to checkpoint captures (which only happen at application-declared
+  // safe points).
+  auto env = take_match(src, tag);
+  note_consumed(env->src, env->seq);
+  if (auto* observer = system_->observer()) observer->on_consume(rank_, *env);
+  if (auto* hooks = system_->hooks()) hooks->on_deliver(self, rank_, *env);
+  ++messages_received_;
+  return std::move(*env);
+}
+
 Envelope Endpoint::recv(des::Process& self, int src, int tag) {
   gate_.enter(self);
   std::int64_t wait_start_ns = -1;  // first suspension instant, if any
   for (;;) {
-    if (const Envelope* peeked = peek_match(src, tag)) {
-      if (tracer_ && wait_start_ns >= 0) {
-        tracer_->span(obs::EventKind::kRecvWait, static_cast<std::uint16_t>(rank_),
-                      wait_start_ns, sim_->now().to_nanos());
-      }
-      // Charge the receive-side CPU cost while the message is still in the
-      // pending queue: a checkpoint captured during this window must see
-      // the message as channel state (it has not reached the application).
-      node_->message_overhead(self, peeked->payload.size());
-      // From here to the return there is no suspension point: removal,
-      // consumption bookkeeping and delivery hooks are atomic with respect
-      // to checkpoint captures (which only happen at application-declared
-      // safe points).
-      auto env = take_match(src, tag);
-      note_consumed(env->src, env->seq);
-      if (auto* observer = system_->observer()) observer->on_consume(rank_, *env);
-      if (auto* hooks = system_->hooks()) hooks->on_deliver(self, rank_, *env);
-      ++messages_received_;
-      return std::move(*env);
+    if (peek_match(src, tag) != nullptr) {
+      return consume_match(self, src, tag, wait_start_ns);
     }
     if (wait_start_ns < 0) wait_start_ns = sim_->now().to_nanos();
     recv_waiters_.push_back(&self);
     self.suspend([this, &self] { std::erase(recv_waiters_, &self); });
+  }
+}
+
+std::optional<Envelope> Endpoint::recv_until(des::Process& self, des::TimePoint deadline,
+                                             int src, int tag) {
+  gate_.enter(self);
+  std::int64_t wait_start_ns = -1;
+  for (;;) {
+    if (peek_match(src, tag) != nullptr) {
+      return consume_match(self, src, tag, wait_start_ns);
+    }
+    if (sim_->now() >= deadline) {
+      if (tracer_ && wait_start_ns >= 0) {
+        tracer_->span(obs::EventKind::kRecvWait, static_cast<std::uint16_t>(rank_),
+                      wait_start_ns, sim_->now().to_nanos());
+      }
+      return std::nullopt;
+    }
+    if (wait_start_ns < 0) wait_start_ns = sim_->now().to_nanos();
+    recv_waiters_.push_back(&self);
+    // Waiter-list membership <=> parked in the suspend below (deliver,
+    // reinject and the kill-cancel callback all erase before waking), so
+    // the timer may wake the process exactly when the erase succeeds. If
+    // this process is killed first, the fired timer's erase finds nothing;
+    // a same-address successor in the list is parked in a wake-tolerant
+    // recv loop, so a spurious wake at worst re-checks and re-parks.
+    des::EventHandle timer = sim_->schedule_at(deadline, [this, &self] {
+      if (std::erase(recv_waiters_, &self) > 0) sim_->wake(self);
+    });
+    self.suspend([this, &self] { std::erase(recv_waiters_, &self); });
+    timer.cancel();
   }
 }
 

@@ -67,6 +67,15 @@ class Endpoint {
   // ---- application API (call from the rank's application process) --------
   void send(des::Process& self, Rank dst, int tag, std::vector<std::byte> payload);
   [[nodiscard]] Envelope recv(des::Process& self, int src = kAnySource, int tag = kAnyTag);
+  /// recv with a deadline: blocks until a matching message is consumable
+  /// or the simulation clock reaches `deadline`, whichever comes first
+  /// (nullopt on timeout). The event-driven primitive the svc workload's
+  /// serve loop needs — waiting for "next request or next scheduled
+  /// arrival" without a polling quantum contaminating latency tails.
+  [[nodiscard]] std::optional<Envelope> recv_until(des::Process& self,
+                                                   des::TimePoint deadline,
+                                                   int src = kAnySource,
+                                                   int tag = kAnyTag);
   [[nodiscard]] bool probe(int src, int tag) const;
 
   void barrier(des::Process& self);
@@ -128,6 +137,10 @@ class Endpoint {
   }
   std::optional<Envelope> take_match(int src, int tag);
   [[nodiscard]] const Envelope* peek_match(int src, int tag) const;
+  /// Shared tail of recv/recv_until: charge receive CPU cost, remove the
+  /// (guaranteed present) match and run the consumption bookkeeping.
+  Envelope consume_match(des::Process& self, int src, int tag,
+                         std::int64_t wait_start_ns);
   void note_consumed(Rank src, std::uint64_t seq);
 
   CommSystem* system_;

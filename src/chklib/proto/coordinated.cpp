@@ -357,6 +357,9 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
     image.delta_base = 0;
   }
   agent.last_ckpt_epoch = epoch;
+  stats_.image_log.push_back(ProtocolStats::ImageRecord{
+      epoch, static_cast<std::uint32_t>(r), image.state.size(),
+      image.captured_at_ns, is_delta});
   image.seq = endpoint.seq_snapshot();
   // Channel state, part 1: pre-cut messages that arrived but were not yet
   // consumed. Post-cut (epoch >= e) messages are excluded — their senders

@@ -155,6 +155,9 @@ void IndependentProtocol::do_local_checkpoint(des::Process& carrier, Rank r) {
   image.index = index;
   image.captured_at_ns = rt_->sim().now().to_nanos();
   image.state = rank.ready ? rank.registry.capture() : std::vector<std::byte>{};
+  stats_.image_log.push_back(ProtocolStats::ImageRecord{
+      index, static_cast<std::uint32_t>(r), image.state.size(),
+      image.captured_at_ns, false});
   image.seq = endpoint.seq_snapshot();
   image.sends = std::exchange(agent.sends, {});
   image.recvs = std::exchange(agent.recvs, {});

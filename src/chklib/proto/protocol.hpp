@@ -45,6 +45,18 @@ struct ProtocolStats {
   /// Total time application processes spent blocked performing checkpoint
   /// work (the scheme's blocking window, summed over ranks and rounds).
   des::Duration app_blocked;
+  /// One record per captured checkpoint image, in capture order: the
+  /// measured image-size curve for applications whose registered state
+  /// grows and shrinks over time (the svc shard). `index` is the epoch
+  /// (coordinated) or the per-rank checkpoint index (independent).
+  struct ImageRecord {
+    std::uint32_t index = 0;
+    std::uint32_t rank = 0;
+    std::uint64_t bytes = 0;
+    std::int64_t at_ns = 0;
+    bool delta = false;  ///< incremental delta rather than a full image
+  };
+  std::vector<ImageRecord> image_log;
 };
 
 class Protocol : public ProtocolHooks {

@@ -169,6 +169,12 @@ class AppContext {
   void register_vector(std::string name, std::vector<T>& v) {
     rank_->registry.register_vector(std::move(name), v);
   }
+  /// Variable-size vector region: checkpoint images track the vector's
+  /// current size (see CheckpointRegistry::register_dynamic_vector).
+  template <typename T>
+  void register_dynamic_vector(std::string name, std::vector<T>& v) {
+    rank_->registry.register_dynamic_vector(std::move(name), v);
+  }
 
   /// Registration complete: apply any pending rollback restore and allow
   /// checkpoints to capture from here on.
@@ -202,6 +208,19 @@ class AppContext {
   [[nodiscard]] Envelope recv(int src = kAnySource, int tag = kAnyTag) {
     return endpoint_->recv(*self_, src, tag);
   }
+  /// recv bounded by the simulation clock: nullopt once `deadline` passes
+  /// with no matching message (see Endpoint::recv_until).
+  [[nodiscard]] std::optional<Envelope> recv_until(des::TimePoint deadline,
+                                                   int src = kAnySource,
+                                                   int tag = kAnyTag) {
+    return endpoint_->recv_until(*self_, deadline, src, tag);
+  }
+  /// Non-blocking check for a consumable matching message.
+  [[nodiscard]] bool probe(int src = kAnySource, int tag = kAnyTag) const {
+    return endpoint_->probe(src, tag);
+  }
+  /// Current simulated time (for scheduled-arrival bookkeeping).
+  [[nodiscard]] des::TimePoint now() const noexcept { return runtime_->sim().now(); }
   template <typename T>
   void send_value(Rank dst, int tag, const T& value) {
     chklib::send_value(*endpoint_, *self_, dst, tag, value);

@@ -44,6 +44,7 @@ obs::MetricsSnapshot build_metrics(const ExperimentResult& result, const ObsData
   reg.gauge("attrib/recovery_s").set(total.recovery_s);
   reg.gauge("attrib/retransmit_wait_s").set(total.retransmit_wait_s);
   reg.gauge("attrib/storage_retry_wait_s").set(total.storage_retry_wait_s);
+  reg.gauge("attrib/svc_queue_wait_s").set(total.svc_queue_wait_s);
   reg.gauge("attrib/total_s").set(total.total_s());
 
   // Transport / link-fault counters (all zero with faults off).
@@ -255,6 +256,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.ckpt_write_failures = stats.ckpt_write_failures;
     result.commit_write_failures = stats.commit_write_failures;
     result.corrupt_discarded = stats.corrupt_discarded;
+    result.image_log = stats.image_log;
   }
   if (const auto* faults = machine.storage().faults()) {
     result.io_write_errors = faults->write_errors();

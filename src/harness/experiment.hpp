@@ -9,6 +9,7 @@
 
 #include "chklib/ckpt/storage_client.hpp"
 #include "chklib/comm/link_fault.hpp"
+#include "chklib/proto/protocol.hpp"
 #include "chklib/proto/scheme.hpp"
 #include "chklib/recovery/line.hpp"
 #include "chklib/recovery/manager.hpp"
@@ -179,6 +180,9 @@ struct ExperimentResult {
   std::uint64_t peak_storage_bytes = 0;
   std::uint64_t final_storage_bytes = 0;
   std::size_t final_stored_checkpoints = 0;
+  /// Per-capture image sizes in capture order: the measured bytes-per-round
+  /// curve for apps with time-varying registered state.
+  std::vector<chklib::ProtocolStats::ImageRecord> image_log;
 
   std::optional<double> digest;
   std::vector<RecoveryReport> recoveries;

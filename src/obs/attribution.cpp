@@ -18,6 +18,7 @@ struct NsBuckets {
   std::int64_t recovery = 0;
   std::int64_t retransmit_wait = 0;
   std::int64_t retry_wait = 0;
+  std::int64_t svc_queue_wait = 0;
 };
 
 constexpr double to_s(std::int64_t ns) noexcept { return static_cast<double>(ns) * 1e-9; }
@@ -61,6 +62,9 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
       case EventKind::kStorageRetryWait:
         if (e.arg == 1) b.retry_wait += e.dur_ns;
         break;
+      case EventKind::kSvcQueueWait:
+        b.svc_queue_wait += e.dur_ns;
+        break;
       case EventKind::kInterference:
         b.interference += static_cast<std::int64_t>(e.aux);
         break;
@@ -88,6 +92,7 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
     out.recovery_s = to_s(b.recovery);
     out.retransmit_wait_s = to_s(b.retransmit_wait);
     out.storage_retry_wait_s = to_s(b.retry_wait);
+    out.svc_queue_wait_s = to_s(b.svc_queue_wait);
     out.blocked_total_s = to_s(b.window);
 
     report.total.sync_wait_s += out.sync_wait_s;
@@ -100,6 +105,7 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
     report.total.recovery_s += out.recovery_s;
     report.total.retransmit_wait_s += out.retransmit_wait_s;
     report.total.storage_retry_wait_s += out.storage_retry_wait_s;
+    report.total.svc_queue_wait_s += out.svc_queue_wait_s;
     report.total.blocked_total_s += out.blocked_total_s;
   }
   return report;

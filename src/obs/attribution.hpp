@@ -48,6 +48,12 @@ struct RankBuckets {
   /// checkpoint windows (zero when storage faults are off). Background-
   /// writer retries stay out, like background writes themselves.
   double storage_retry_wait_s = 0;
+  /// Request-side queue wait in the svc workload: scheduled (open-loop)
+  /// arrival to service start, charged to the serving rank (zero for batch
+  /// apps). Request time, not rank CPU time — it may overlap frozen_stall
+  /// or recovery wall-clock on the same rank — so it sits outside the
+  /// blocked windows and is added symmetrically to both sums below.
+  double svc_queue_wait_s = 0;
   /// Sum of this rank's checkpoint blocking windows (== the protocol's
   /// app_blocked share; the first five buckets partition it exactly).
   double blocked_total_s = 0;
@@ -55,11 +61,11 @@ struct RankBuckets {
   [[nodiscard]] double bucket_sum_s() const noexcept {
     return sync_wait_s + mem_copy_s + stable_write_s + storage_contention_s +
            logging_s + frozen_stall_s + interference_s + recovery_s +
-           retransmit_wait_s + storage_retry_wait_s;
+           retransmit_wait_s + storage_retry_wait_s + svc_queue_wait_s;
   }
   [[nodiscard]] double total_s() const noexcept {
     return blocked_total_s + frozen_stall_s + interference_s + recovery_s +
-           retransmit_wait_s;
+           retransmit_wait_s + svc_queue_wait_s;
   }
 };
 

@@ -38,6 +38,7 @@ enum class EventKind : std::uint16_t {
   kRecvWait,         ///< receive blocked waiting for a matching message
   kRetransmitWait,   ///< transport reorder gap: waiting on a retransmit
   kStorageRetryWait, ///< backoff sleep between storage retry attempts; arg = context
+  kSvcQueueWait,     ///< svc request queue wait: scheduled arrival -> service start
   // ---- instants (dur_ns == 0) ---------------------------------------------
   kMsgSend,          ///< application send; aux = payload bytes, arg = dst
   kControlSend,      ///< protocol control message; arg = dst
@@ -71,6 +72,7 @@ enum class EventKind : std::uint16_t {
     case EventKind::kRecvWait: return "recv_wait";
     case EventKind::kRetransmitWait: return "retransmit_wait";
     case EventKind::kStorageRetryWait: return "storage_retry_wait";
+    case EventKind::kSvcQueueWait: return "svc_queue_wait";
     case EventKind::kMsgSend: return "msg_send";
     case EventKind::kControlSend: return "control_send";
     case EventKind::kRoundBegin: return "round_begin";

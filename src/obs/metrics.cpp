@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <bit>
+#include <cmath>
 #include <stdexcept>
 
 namespace chk::obs {
@@ -27,9 +29,90 @@ void Histogram::observe(double value) noexcept {
   sum_ += value;
 }
 
+LogHistogram::LogHistogram(int min_exp, int max_exp, double scale)
+    : min_exp_(min_exp), max_exp_(max_exp), scale_(scale) {
+  if (min_exp < 0 || max_exp < min_exp || max_exp > 62) {
+    throw std::invalid_argument("LogHistogram: need 0 <= min_exp <= max_exp <= 62");
+  }
+  counts_.assign(static_cast<std::size_t>(max_exp - min_exp + 1) + 1, 0);
+}
+
+std::size_t LogHistogram::bucket_of(std::uint64_t value, int min_exp,
+                                    int max_exp) noexcept {
+  // Smallest e with value <= 2^e is bit_width(value) - 1 for powers of two
+  // and bit_width(value) otherwise; value 0 sits in the first bucket.
+  int e = 0;
+  if (value > 1) {
+    e = static_cast<int>(std::bit_width(value - 1));  // ceil(log2(value))
+  }
+  if (e <= min_exp) return 0;
+  if (e > max_exp) return static_cast<std::size_t>(max_exp - min_exp) + 1;
+  return static_cast<std::size_t>(e - min_exp);
+}
+
+void LogHistogram::observe(std::uint64_t value) noexcept {
+  ++counts_[bucket_of(value, min_exp_, max_exp_)];
+  ++total_;
+  sum_ += value;
+}
+
+std::vector<double> LogHistogram::make_edges(int min_exp, int max_exp,
+                                             double scale) {
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(max_exp - min_exp + 1));
+  for (int e = min_exp; e <= max_exp; ++e) {
+    edges.push_back(std::ldexp(1.0, e) * scale);
+  }
+  return edges;
+}
+
+HistogramSnapshot LogHistogram::snapshot() const {
+  return HistogramSnapshot{make_edges(min_exp_, max_exp_, scale_), counts_, total_,
+                           static_cast<double>(sum_) * scale_};
+}
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  if (h.total_count == 0 || h.edges.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based; ceil keeps p100 at the last sample.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(h.total_count)));
+  const std::uint64_t rank = target == 0 ? 1 : target;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (h.counts[i] == 0) continue;
+    if (cum + h.counts[i] >= rank) {
+      if (i >= h.edges.size()) return h.edges.back();  // overflow bucket
+      const double lower = i == 0 ? 0.0 : h.edges[i - 1];
+      const double upper = h.edges[i];
+      const double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(h.counts[i]);
+      return lower + frac * (upper - lower);
+    }
+    cum += h.counts[i];
+  }
+  return h.edges.back();
+}
+
 Histogram& Registry::histogram(const std::string& name, std::vector<double> edges) {
+  if (log_histograms_.contains(name)) {
+    throw std::invalid_argument("Registry: " + name + " is a log histogram");
+  }
   if (const auto it = histograms_.find(name); it != histograms_.end()) return it->second;
   return histograms_.emplace(name, Histogram(std::move(edges))).first->second;
+}
+
+LogHistogram& Registry::log_histogram(const std::string& name, int min_exp,
+                                      int max_exp, double scale) {
+  if (histograms_.contains(name)) {
+    throw std::invalid_argument("Registry: " + name + " is a fixed-bucket histogram");
+  }
+  if (const auto it = log_histograms_.find(name); it != log_histograms_.end()) {
+    return it->second;
+  }
+  return log_histograms_.emplace(name, LogHistogram(min_exp, max_exp, scale))
+      .first->second;
 }
 
 MetricsSnapshot Registry::snapshot() const {
@@ -39,6 +122,9 @@ MetricsSnapshot Registry::snapshot() const {
   for (const auto& [name, h] : histograms_) {
     snap.histograms.emplace(
         name, HistogramSnapshot{h.edges(), h.counts(), h.total_count(), h.sum()});
+  }
+  for (const auto& [name, h] : log_histograms_) {
+    snap.histograms.emplace(name, h.snapshot());
   }
   return snap;
 }

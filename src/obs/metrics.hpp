@@ -62,6 +62,56 @@ struct HistogramSnapshot {
   double sum = 0;
 };
 
+/// Log-spaced (power-of-two) histogram over non-negative integer samples,
+/// nanoseconds by convention. Bucket i counts samples <= 2^(min_exp + i);
+/// samples above 2^max_exp land in the overflow bucket. observe() is O(1)
+/// (bit_width), so it is cheap enough for per-request latency recording,
+/// and the 2x geometric edges resolve tail quantiles (p999) that the
+/// coarse fixed-bucket Histogram cannot.
+class LogHistogram {
+ public:
+  /// `scale` converts integer samples to the exported unit at snapshot
+  /// time (e.g. 1e-9 to export nanosecond samples with edges in seconds).
+  LogHistogram(int min_exp, int max_exp, double scale = 1.0);
+
+  void observe(std::uint64_t value) noexcept;
+
+  /// Bucket index a sample falls into: 0..(max_exp - min_exp) for the
+  /// edge buckets, max_exp - min_exp + 1 for overflow. Exposed so callers
+  /// that keep raw per-rank count arrays in checkpointable state can use
+  /// the exact same binning.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value, int min_exp,
+                                             int max_exp) noexcept;
+  /// Upper bucket edges 2^min_exp .. 2^max_exp, multiplied by `scale`.
+  [[nodiscard]] static std::vector<double> make_edges(int min_exp, int max_exp,
+                                                      double scale);
+
+  [[nodiscard]] int min_exp() const noexcept { return min_exp_; }
+  [[nodiscard]] int max_exp() const noexcept { return max_exp_; }
+  /// counts().size() == (max_exp - min_exp + 1) + 1 (last = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+
+  /// Same shape as a fixed-bucket histogram snapshot (edges scaled by
+  /// `scale`, sum likewise), so the JSON export schema is unchanged.
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  int min_exp_;
+  int max_exp_;
+  double scale_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Deterministic quantile estimate from a histogram snapshot: finds the
+/// bucket holding the q-th sample and interpolates linearly inside it
+/// (overflow samples report the last edge). q in [0, 1]; returns 0 for an
+/// empty histogram.
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& h, double q);
+
 /// Typed point-in-time copy of a Registry (safe to keep past its death).
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
@@ -80,6 +130,10 @@ class Registry {
   /// Creates the histogram on first use; `edges` is ignored on later
   /// lookups of the same name.
   Histogram& histogram(const std::string& name, std::vector<double> edges);
+  /// Log-spaced sibling of histogram(); shares the snapshot namespace, so
+  /// a name may be either fixed-bucket or log-spaced, never both.
+  LogHistogram& log_histogram(const std::string& name, int min_exp, int max_exp,
+                              double scale = 1.0);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -87,6 +141,7 @@ class Registry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, LogHistogram> log_histograms_;
 };
 
 }  // namespace chk::obs

@@ -1,0 +1,15 @@
+// Fixture: ordered-emission must also cover src/svc — shard state feeds
+// the result digest and the checkpoint image, so hash-container iteration
+// order would leak implementation-defined bytes into both.
+#include <cstdint>
+#include <unordered_set>
+
+namespace fixture {
+
+std::uint64_t digest_keys(const std::unordered_set<std::uint64_t>& keys) {
+  std::uint64_t h = 0;
+  for (const std::uint64_t k : keys) h = h * 31 + k;
+  return h;
+}
+
+}  // namespace fixture

@@ -104,6 +104,9 @@ TEST(ChklintRules, OrderedEmissionFires) {
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_NE(r.output.find("ordered-emission"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("unordered_map"), std::string::npos) << r.output;
+  // src/svc is an emission path too (digest + checkpoint image bytes).
+  EXPECT_NE(r.output.find("unordered_set"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("src/svc/shard.cpp"), std::string::npos) << r.output;
 }
 
 TEST(ChklintRules, BucketPartitionRegistrationFires) {

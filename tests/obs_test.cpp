@@ -132,6 +132,9 @@ TEST(Attribution, BucketsSumToMeasuredOverheadForEveryScheme) {
                   rank.blocked_total_s, 1e-9)
           << to_string(scheme);
       EXPECT_EQ(rank.storage_retry_wait_s, 0.0) << to_string(scheme);
+      // svc_queue_wait_s is the svc workload's request-side bucket; batch
+      // apps never emit it, and it sits outside the blocked windows.
+      EXPECT_EQ(rank.svc_queue_wait_s, 0.0) << to_string(scheme);
       EXPECT_NEAR(rank.bucket_sum_s(), rank.total_s(), 1e-9) << to_string(scheme);
       EXPECT_GE(rank.sync_wait_s, 0.0) << to_string(scheme);
       blocked += rank.blocked_total_s;

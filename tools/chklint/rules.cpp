@@ -379,6 +379,7 @@ void rule_ordered_emission(const Context& ctx, std::vector<Finding>& out) {
   for (const SourceFile& file : *ctx.files) {
     const bool emission_path = under(file.path, "bench") ||
                                under(file.path, "src/obs") ||
+                               under(file.path, "src/svc") ||
                                file.path.find("/obs/") != std::string::npos;
     if (!emission_path) continue;
     for (const Token& t : file.tokens) {
@@ -456,7 +457,7 @@ const std::vector<RuleInfo>& all_rules() {
        &rule_duration_arithmetic},
       {"ordered-emission",
        "no std::unordered_* containers in trace/JSON/metrics emission paths "
-       "(src/obs/, bench/)",
+       "(src/obs/, src/svc/, bench/)",
        &rule_ordered_emission},
       {"bucket-partition-registration",
        "every attribution bucket emitted by buckets_to_json must appear in the "
