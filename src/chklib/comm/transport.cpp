@@ -194,6 +194,7 @@ void Transport::handle_ack(const Frame& frame) {
     advanced = true;
   }
   if (!advanced) return;
+  if (tx.rto_timer.pending()) ++stats_.rto_cancelled;
   tx.rto_timer.cancel();
   tx.rto = cfg_.rto_initial;
   if (!tx.unacked.empty()) arm_rto(link, tx);
@@ -219,6 +220,7 @@ void Transport::hand_up(Frame frame) {
 }
 
 void Transport::arm_rto(const LinkKey& link, SenderLink& tx) {
+  ++stats_.rto_armed;
   tx.rto_timer = sim_->schedule_after(tx.rto, [this, link] { on_rto(link); });
 }
 

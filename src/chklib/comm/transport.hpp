@@ -55,6 +55,13 @@ struct TransportStats {
   std::uint64_t dups_suppressed = 0;  ///< duplicate data frames discarded
   std::uint64_t corrupt_detected = 0; ///< checksum mismatches discarded
   std::uint64_t acks_sent = 0;
+  /// RTO timer churn. Every cumulative-ack advance cancels the armed timer
+  /// and (with frames still in flight) re-arms it, so under ack-heavy
+  /// traffic `rto_cancelled` approaches one per ack — each a dead event
+  /// the kernel's queue must reclaim. The pair exists so heap-bloat
+  /// regression tests can bound the queue against the true live count.
+  std::uint64_t rto_armed = 0;        ///< timer arms, initial + re-arms
+  std::uint64_t rto_cancelled = 0;    ///< armed timers cancelled by an ack
 };
 
 /// Modelled wire size of a transport ack frame.

@@ -49,14 +49,14 @@ class Process {
   /// remove this process from a wait list); the kernel invokes it if the
   /// process is killed while parked, so that no stale waker fires later.
   /// Throws ProcessKilled after a kill.
-  void suspend(std::function<void()> cancel);
+  void suspend(InlineFn cancel);
 
   /// Drop the pending suspend-cancel callback. Blocking primitives call
   /// this from their destructors for every process still on their wait
   /// list: if the primitive dies before the parked process is killed
   /// (owner destroyed before the simulator shuts down), the callback
   /// would otherwise touch the primitive's freed wait list.
-  void detach_cancel() noexcept { cancel_ = nullptr; }
+  void detach_cancel() noexcept { cancel_.reset(); }
 
  private:
   friend class Simulator;
@@ -80,7 +80,7 @@ class Process {
   State state_ = State::kCreated;
   bool killed_ = false;
   std::string error_;
-  std::function<void()> cancel_;          // valid while kBlocked
+  InlineFn cancel_;                       // valid while kBlocked
   std::binary_semaphore run_baton_{0};    // kernel -> process
   std::jthread thread_;                   // last member: starts running in ctor
 };

@@ -483,5 +483,46 @@ TEST(Comm, DeterministicByteTotals) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(Comm, AckChurnKeepsEventQueueBounded) {
+  // Regression for dead-event heap bloat: every cumulative ack cancels the
+  // link's armed RTO timer and re-arms it while frames are in flight, so a
+  // long ping-style exchange manufactures one dead 50 ms timer entry per
+  // message. The kernel must reclaim them as it goes — the queue high-water
+  // mark has to track the handful of live events, not the cancellation
+  // history.
+  Fixture f(2);
+  f.comm.enable_transport();
+  constexpr int kMessages = 2000;
+  f.sim.spawn("tx", [&](Process& self) {
+    for (int i = 0; i < kMessages; ++i) {
+      send_value<int>(f.comm.endpoint(0), self, 1, 7, i);
+      // Pace the sends so each message is acked before the next leaves:
+      // in-flight stays O(1) while the RTO churn accumulates.
+      self.delay(Duration::micros(10));
+    }
+  });
+  int got = 0;
+  f.sim.spawn("rx", [&](Process& self) {
+    for (int i = 0; i < kMessages; ++i) {
+      if (recv_value<int>(f.comm.endpoint(1), self, 0, 7) == i) ++got;
+    }
+  });
+  const auto result = f.sim.run();
+  EXPECT_EQ(result.reason, des::StopReason::kIdle);
+  EXPECT_EQ(got, kMessages);
+
+  const TransportStats& stats = f.comm.transport()->stats();
+  // The exchange finishes in ~20 ms of simulated time — well inside the
+  // 50 ms RTO — so every cancelled timer would linger to the end of the
+  // run without reclamation.
+  EXPECT_GE(stats.rto_cancelled, static_cast<std::uint64_t>(kMessages) / 2);
+  EXPECT_LE(stats.rto_cancelled, stats.rto_armed);
+  EXPECT_GT(f.sim.compactions(), 0u);
+  // Live events per message are a small constant (frame hop, ack hop, RTO
+  // timer, sender delay); the bound is the compaction floor plus slack —
+  // far below the ~2000 dead entries an unreclaimed heap would hold.
+  EXPECT_LE(f.sim.queue_peak(), 512u);
+}
+
 }  // namespace
 }  // namespace chk::chklib

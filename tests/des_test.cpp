@@ -2,7 +2,12 @@
 // lifecycle, kill semantics, synchronization primitives, determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "des/async.hpp"
@@ -482,6 +487,237 @@ TEST(Simulator, DeterministicAcrossRuns) {
     return trace;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+// EventHandle semantics during the event's own callback (pinned contract:
+// the event is consumed before the callback is invoked).
+// ---------------------------------------------------------------------------
+
+TEST(EventHandle, NotPendingInsideOwnCallback) {
+  Simulator sim;
+  EventHandle handle;
+  bool checked = false;
+  handle = sim.schedule_after(Duration::millis(1), [&] {
+    EXPECT_FALSE(handle.pending());
+    checked = true;
+  });
+  EXPECT_TRUE(handle.pending());
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(EventHandle, CancelInsideOwnCallbackIsNoop) {
+  Simulator sim;
+  EventHandle handle;
+  int self_runs = 0;
+  int later_runs = 0;
+  handle = sim.schedule_after(Duration::millis(1), [&] {
+    ++self_runs;
+    handle.cancel();  // must not disturb the kernel or any other event
+  });
+  sim.schedule_after(Duration::millis(2), [&] { ++later_runs; });
+  const auto result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kIdle);
+  EXPECT_EQ(self_runs, 1);
+  EXPECT_EQ(later_runs, 1);
+}
+
+TEST(EventHandle, RearmedFromOwnCallbackGetsFreshHandle) {
+  Simulator sim;
+  EventHandle handle;
+  int runs = 0;
+  // A self-re-arming timer: the stale handle is dead inside the callback,
+  // but the re-schedule returns a live one (possibly recycling the same
+  // pool slot — the generation tag must still distinguish them).
+  std::function<void()> tick = [&] {
+    ++runs;
+    if (runs < 3) {
+      handle = sim.schedule_after(Duration::millis(1), tick);
+      EXPECT_TRUE(handle.pending());
+    }
+  };
+  handle = sim.schedule_after(Duration::millis(1), tick);
+  sim.run();
+  EXPECT_EQ(runs, 3);
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventHandle, StaleHandleDoesNotAliasRecycledSlot) {
+  Simulator sim;
+  // Schedule + cancel so the record returns to the freelist, then schedule
+  // a new event that recycles the slot. The stale handle must stay dead and
+  // its cancel() must not kill the new occupant.
+  auto stale = sim.schedule_after(Duration::millis(1), [] { FAIL() << "cancelled event ran"; });
+  stale.cancel();
+  bool ran = false;
+  auto fresh = sim.schedule_after(Duration::millis(2), [&] { ran = true; });
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  stale.cancel();  // idempotent no-op, must not affect `fresh`
+  EXPECT_TRUE(fresh.pending());
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventHandle, DefaultConstructedIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no-op, no crash
+}
+
+// ---------------------------------------------------------------------------
+// Dead-event reclamation: cancel releases resources eagerly, and the heap
+// stays O(live events) under sustained cancel/re-arm churn.
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, CancelReleasesCapturedResourcesImmediately) {
+  Simulator sim;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  // Far-future timer: with lazy reclamation its captures would be pinned
+  // until the fire time is popped (or the simulator dies).
+  auto handle = sim.schedule_after(Duration::secs(3600), [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // capture pins it while pending
+  handle.cancel();
+  EXPECT_TRUE(watch.expired());  // cancel destroys the callback eagerly
+  sim.run(TimePoint::origin() + Duration::secs(1));
+}
+
+TEST(Simulator, HeapStaysBoundedUnderCancelRearmChurn) {
+  Simulator sim;
+  constexpr int kTimers = 32;
+  constexpr int kRounds = 2000;
+  std::vector<EventHandle> timers(kTimers);
+  std::size_t live_peak = 0;
+  int rounds_done = 0;  // outside the closure: scheduling copies the function
+  std::function<void()> round = [&] {
+    for (auto& t : timers) {
+      t.cancel();
+      t = sim.schedule_after(Duration::secs(60), [] {});
+    }
+    live_peak = std::max(live_peak, sim.live_events());
+    if (++rounds_done < kRounds) sim.schedule_after(Duration::micros(1), round);
+  };
+  sim.schedule_now(round);
+  sim.run(TimePoint::origin() + Duration::secs(30));
+  // kTimers * kRounds = 64000 cancellations; without compaction the queue
+  // would hold every dead entry until its 60 s fire time.
+  EXPECT_GT(sim.compactions(), 0u);
+  EXPECT_LE(sim.queue_peak(), static_cast<std::size_t>(4 * kTimers + 64));
+  EXPECT_LE(live_peak, static_cast<std::size_t>(kTimers + 2));
+  for (auto& t : timers) t.cancel();
+}
+
+TEST(Simulator, CompactionPreservesScheduleAndTraceHash) {
+  // Identical schedules, one copy driven through heavy cancel churn that
+  // triggers compaction: executed events, end time, and trace hash must be
+  // bit-identical (cancelled events never execute, and pop order depends
+  // only on the unique (time, seq) keys).
+  auto run_once = [](bool churn) {
+    Simulator sim;
+    std::vector<std::int64_t> fired;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_after(Duration::millis(i + 1), [&fired, &sim] {
+        fired.push_back(sim.now().to_nanos());
+      });
+    }
+    // Decoys are scheduled after every survivor so the survivors' sequence
+    // numbers are identical in both runs; the decoys never execute.
+    if (churn) {
+      std::vector<EventHandle> decoys;
+      for (int i = 0; i < 500; ++i) {
+        decoys.push_back(sim.schedule_after(Duration::secs(100), [] {}));
+      }
+      for (auto& d : decoys) d.cancel();
+    }
+    const auto result = sim.run(TimePoint::origin() + Duration::secs(1));
+    return std::tuple{fired, result.events_executed, sim.trace_hash()};
+  };
+  const auto quiet = run_once(false);
+  const auto churned = run_once(true);
+  EXPECT_EQ(std::get<0>(quiet), std::get<0>(churned));
+  EXPECT_EQ(std::get<1>(quiet), std::get<1>(churned));
+  EXPECT_EQ(std::get<2>(quiet), std::get<2>(churned));
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown double-release guard.
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, ShutdownTwiceIsIdempotent) {
+  Simulator sim;
+  SimSemaphore sem(sim, 0);
+  sim.spawn("stuck", [&](Process& self) { sem.acquire(self); });
+  sim.run();
+  sim.shutdown();
+  EXPECT_EQ(sim.live_processes(), 0u);
+  sim.shutdown();  // every process already kFinished: must be a no-op
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(Simulator, ShutdownAfterNaturalFinishIsNoop) {
+  Simulator sim;
+  sim.spawn("quick", [](Process& self) { self.delay(Duration::millis(1)); });
+  sim.run();
+  EXPECT_EQ(sim.live_processes(), 0u);
+  sim.shutdown();  // thread already exited; must not release its baton
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(Simulator, ShutdownWithReadyProcessThenRunAgain) {
+  Simulator sim;
+  SimSemaphore sem(sim, 0);
+  auto& waiter = sim.spawn("waiter", [&](Process& self) {
+    sem.acquire(self);
+    FAIL() << "woke after shutdown";
+  });
+  sim.schedule_after(Duration::millis(1), [&] { sem.release(); });
+  // Stop right after the release event: the waiter is kReady with its
+  // resume event still queued.
+  sim.run(TimePoint::max(), 2);
+  sim.shutdown();
+  EXPECT_TRUE(waiter.finished());
+  // The stale resume event must be inert — running again must neither hand
+  // the baton to the dead thread (hang) nor crash.
+  const auto result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kIdle);
+}
+
+// ---------------------------------------------------------------------------
+// InlineFn: the kernel's SBO callback type.
+// ---------------------------------------------------------------------------
+
+TEST(InlineFn, InvokesInlineAndBoxedCallables) {
+  int small_calls = 0;
+  InlineFn small([&small_calls] { ++small_calls; });
+  ASSERT_TRUE(static_cast<bool>(small));
+  small();
+  EXPECT_EQ(small_calls, 1);
+
+  // Oversized capture forces the heap-boxed path.
+  std::array<std::uint64_t, 16> big_payload{};
+  big_payload.fill(7);
+  std::uint64_t sum = 0;
+  InlineFn big([big_payload, &sum] { for (auto v : big_payload) sum += v; });
+  big();
+  EXPECT_EQ(sum, 7u * 16u);
+}
+
+TEST(InlineFn, MoveTransfersOwnershipAndResetReleases) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InlineFn a([token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());
+  InlineFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): moved-from is empty by contract
+  EXPECT_TRUE(static_cast<bool>(b));
+  EXPECT_FALSE(watch.expired());
+  b.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(b));
 }
 
 }  // namespace

@@ -1,0 +1,65 @@
+// Run-twice determinism at scale: the kernel's totally ordered event queue
+// (and its pool/compaction machinery) must yield bit-identical trace hashes
+// at 64 and 256 ranks — the regime where event records are recycled through
+// the freelist millions of times and the dead-entry compactor actually
+// fires — for every checkpointing scheme, with and without tracing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "apps/sor.hpp"
+#include "des/time.hpp"
+#include "harness/experiment.hpp"
+
+namespace chk {
+namespace {
+
+using chklib::Scheme;
+using des::Duration;
+
+constexpr Scheme kSchemes[] = {Scheme::kCoordNB, Scheme::kCoordNBM, Scheme::kCoordNBMS,
+                               Scheme::kIndep, Scheme::kIndepM};
+
+harness::ExperimentResult run_cell(std::size_t ranks, Scheme scheme, bool observe) {
+  harness::ExperimentConfig config;
+  config.label = "SOR-scale";
+  // Small grid, few iterations: the point is many ranks exchanging halos
+  // (event volume and churn), not numerical work.
+  config.app = apps::make_sor(apps::SorParams{.n = 256, .iterations = 6});
+  config.scheme = scheme;
+  config.machine.num_nodes = ranks;
+  config.seed = 2026;
+  config.checkpoints = 2;
+  config.interval = Duration::millis(200);
+  config.observe = observe;
+  return harness::run_experiment(config);
+}
+
+class KernelScale : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelScale, TraceHashBitIdenticalAcrossRunsAndTracing) {
+  const std::size_t ranks = GetParam();
+  for (Scheme scheme : kSchemes) {
+    const std::string what =
+        std::string(to_string(scheme)) + " @ " + std::to_string(ranks) + " ranks";
+    const auto first = run_cell(ranks, scheme, /*observe=*/false);
+    const auto second = run_cell(ranks, scheme, /*observe=*/false);
+    EXPECT_EQ(first.trace_hash, second.trace_hash) << what;
+    EXPECT_EQ(first.exec_time_s, second.exec_time_s) << what;
+    EXPECT_EQ(first.events, second.events) << what;
+    // Observation must not perturb the schedule.
+    const auto traced = run_cell(ranks, scheme, /*observe=*/true);
+    EXPECT_EQ(traced.trace_hash, first.trace_hash) << what << " (traced)";
+    EXPECT_EQ(traced.exec_time_s, first.exec_time_s) << what << " (traced)";
+    EXPECT_EQ(traced.events, first.events) << what << " (traced)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, KernelScale, ::testing::Values(std::size_t{64}, std::size_t{256}),
+                         [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+                           return "ranks" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace chk
