@@ -1,0 +1,307 @@
+// Membership ablation: failure-detection timeout vs link loss.
+//
+// The membership service turns failure handling from an oracle into a
+// protocol: heartbeats, suspicion quorums, view changes, election and
+// fencing. Its central knob is the detection timeout, and this sweep
+// measures both sides of that tradeoff on lossy links. A conservative
+// timeout rides out loss bursts but leaves real crashes undetected for
+// seconds; an aggressive timeout under heavy loss evicts perfectly live
+// ranks — the false-suspicion storm. The headline cell is the most
+// aggressive timeout under 20% frame loss: live ranks get evicted, fenced,
+// and must rejoin, yet every run still verifies the failure-free digest —
+// fencing keeps wrongful evictions from corrupting a commit.
+//
+// A second section kills the *coordinator* mid-round for each coordinated
+// scheme: the cluster detects the death, elects a successor (the view id
+// encodes it), re-initiates the aborted round at a higher epoch, and the
+// run completes verified — the scenario that was impossible while the
+// coordinator was immortal by construction.
+//
+//   ./ablation_membership [--app=SOR-384] [--timeouts=0.6,1.5,4.0]
+//                         [--losses=0,0.05,0.2] [--hb-period=0.25]
+//                         [--nodes=8] [--checkpoints=0] [--intervals=5]
+//                         [--seed=2026] [--json-out=BENCH_membership.json]
+//                         [--quick]
+//
+// --quick shrinks the sweep (2 timeouts x 2 loss points). Output is
+// byte-identical across repeats with the same seed.
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/catalog.hpp"
+#include "harness/experiment.hpp"
+#include "obs/export.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace chk;
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<double> parse_doubles(const util::Cli& cli, const std::string& key,
+                                  const std::string& fallback, double lo, double hi) {
+  std::vector<double> out;
+  for (const std::string& tok : split_list(cli.get(key, fallback))) {
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end != tok.c_str() + tok.size() || v != v) {
+      throw std::invalid_argument("--" + key + ": expected a number, got \"" + tok + "\"");
+    }
+    if (v < lo || v >= hi) {
+      throw std::invalid_argument("--" + key + ": values must be in [" +
+                                  std::to_string(lo) + ", " + std::to_string(hi) +
+                                  "), got " + tok);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+/// The five scheme columns of the paper's Table 1, in paper order.
+const std::vector<harness::Scheme>& sweep_schemes() {
+  static const std::vector<harness::Scheme> schemes{
+      harness::Scheme::kCoordNB, harness::Scheme::kIndep, harness::Scheme::kCoordNBM,
+      harness::Scheme::kIndepM, harness::Scheme::kCoordNBMS};
+  return schemes;
+}
+
+/// The coordinated schemes whose coordinator the kill section murders.
+const std::vector<harness::Scheme>& coordinated_schemes() {
+  static const std::vector<harness::Scheme> schemes{
+      harness::Scheme::kCoordNB, harness::Scheme::kCoordNBM,
+      harness::Scheme::kCoordNBMS};
+  return schemes;
+}
+
+obs::json::Value cell_json(const harness::ExperimentResult& r, bool digest_ok) {
+  using obs::json::Value;
+  Value cv = Value::object();
+  cv.set("scheme", Value::string(std::string(to_string(r.scheme))));
+  cv.set("exec_s", Value::number(r.exec_time_s));
+  cv.set("heartbeats_sent", Value::number(r.heartbeats_sent));
+  cv.set("suspicions", Value::number(r.suspicions));
+  cv.set("views_established", Value::number(r.views_established));
+  cv.set("evictions", Value::number(r.evictions));
+  cv.set("wrongful_evictions", Value::number(r.wrongful_evictions));
+  cv.set("rejoins", Value::number(r.rejoins));
+  cv.set("crashes", Value::number(r.membership_crashes));
+  cv.set("forced_recoveries", Value::number(r.forced_recoveries));
+  cv.set("aborted_rounds", Value::number(std::uint64_t{r.aborted_rounds}));
+  cv.set("committed_rounds", Value::number(std::uint64_t{r.committed_rounds}));
+  cv.set("retransmits", Value::number(r.retransmits));
+  cv.set("digest_ok", Value::boolean(digest_ok));
+  cv.set("invariant_violations", Value::number(r.invariant_violations));
+  return cv;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+
+  const std::string app_label = cli.get("app", "SOR-384");
+  std::vector<double> timeouts;
+  std::vector<double> losses;
+  double hb_period = 0.25;
+  try {
+    timeouts = parse_doubles(cli, "timeouts", quick ? "0.6,4.0" : "0.6,1.5,4.0",
+                             1e-3, 1e3);
+    losses = parse_doubles(cli, "losses", quick ? "0,0.2" : "0,0.05,0.2", 0.0, 1.0);
+    hb_period = cli.get_nonneg_double("hb-period", 0.25);
+    for (double t : timeouts) {
+      if (t <= hb_period) {
+        throw std::invalid_argument(
+            "--timeouts: every detection timeout must exceed --hb-period (" +
+            std::to_string(hb_period) + " s)");
+      }
+    }
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "ablation_membership: %s\n", err.what());
+    return 2;
+  }
+  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 8));
+  const auto checkpoints = static_cast<std::uint32_t>(cli.get_int("checkpoints", 0));
+  const double intervals = cli.get_double("intervals", 5.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+
+  // Baseline: failure-free, perfect links, no detector — sets the
+  // checkpoint interval and the digest every membership run must still
+  // compute (fencing has to keep wrongful evictions answer-preserving).
+  harness::ExperimentConfig base;
+  base.label = app_label;
+  base.app = harness::find_row(app_label).app;
+  base.machine.num_nodes = nodes;
+  base.seed = seed;
+  base.checkpoints = checkpoints;
+  const harness::ExperimentResult normal = harness::run_normal(base);
+  base.interval = des::Duration::seconds(normal.exec_time_s / intervals);
+
+  // Section 1: detection-timeout x link-loss sweep, detector always on.
+  std::vector<harness::ExperimentResult> results(timeouts.size() * losses.size() *
+                                                 sweep_schemes().size());
+  {
+    std::vector<std::future<harness::ExperimentResult>> pending;
+    pending.reserve(results.size());
+    for (double timeout : timeouts) {
+      for (double loss : losses) {
+        for (harness::Scheme scheme : sweep_schemes()) {
+          harness::ExperimentConfig config = base;
+          config.scheme = scheme;
+          chklib::membership::MembershipConfig membership;
+          membership.detect_timeout = des::Duration::seconds(timeout);
+          membership.hb_period = des::Duration::seconds(hb_period);
+          config.membership = membership;
+          if (loss > 0.0) {
+            chklib::LinkFaultConfig faults;
+            faults.drop = loss;
+            faults.duplicate = loss / 2;
+            faults.corrupt = loss / 4;
+            config.link_faults = faults;
+          }
+          pending.push_back(std::async(std::launch::async, [config] {
+            return harness::run_experiment(config);
+          }));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) results[i] = pending[i].get();
+  }
+
+  // Section 2: coordinator killed mid-run, moderate timeout, clean links.
+  // One strike, aimed at whoever the current elected coordinator is.
+  std::vector<harness::ExperimentResult> kills(coordinated_schemes().size());
+  {
+    const double kill_timeout =
+        timeouts.size() > 1 ? timeouts[timeouts.size() / 2] : timeouts.front();
+    std::vector<std::future<harness::ExperimentResult>> pending;
+    pending.reserve(kills.size());
+    for (harness::Scheme scheme : coordinated_schemes()) {
+      harness::ExperimentConfig config = base;
+      config.scheme = scheme;
+      chklib::membership::MembershipConfig membership;
+      membership.detect_timeout = des::Duration::seconds(kill_timeout);
+      membership.hb_period = des::Duration::seconds(hb_period);
+      config.membership = membership;
+      faultsim::FaultPlan plan;
+      plan.mtbf = des::Duration::seconds(normal.exec_time_s * 0.4);
+      plan.max_failures = 1;
+      plan.target_coordinator = true;
+      config.faults = plan;
+      pending.push_back(std::async(std::launch::async, [config] {
+        return harness::run_experiment(config);
+      }));
+    }
+    for (std::size_t i = 0; i < kills.size(); ++i) kills[i] = pending[i].get();
+  }
+
+  bool all_ok = true;
+  for (const harness::ExperimentResult& r : results) {
+    all_ok = all_ok && r.digest == normal.digest && r.invariant_violations == 0;
+  }
+  for (const harness::ExperimentResult& r : kills) {
+    all_ok = all_ok && r.digest == normal.digest && r.invariant_violations == 0;
+  }
+
+  std::vector<std::string> header{"timeout", "loss"};
+  for (harness::Scheme scheme : sweep_schemes()) header.emplace_back(to_string(scheme));
+  util::Table table(header);
+  std::size_t index = 0;
+  for (double timeout : timeouts) {
+    for (double loss : losses) {
+      std::vector<std::string> row{util::Table::fixed(timeout, 1),
+                                   util::Table::fixed(loss, 2)};
+      for (std::size_t s = 0; s < sweep_schemes().size(); ++s) {
+        const harness::ExperimentResult& r = results[index++];
+        row.push_back(util::format("{} ev={} wr={} rj={}",
+                                   util::Table::fixed(r.exec_time_s, 1), r.evictions,
+                                   r.wrongful_evictions, r.rejoins));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::fputs(
+      table
+          .render(util::format(
+              "{} on {} nodes with the membership detector on (hb={}s; exec "
+              "time s, evictions, wrongful evictions, rejoins; aggressive "
+              "timeouts under loss evict live ranks, which are fenced and "
+              "rejoin; digests + invariants verified: {})",
+              app_label, nodes, util::Table::fixed(hb_period, 2),
+              all_ok ? "yes" : "NO"))
+          .c_str(),
+      stdout);
+
+  std::vector<std::string> kill_header{"scheme", "exec_s", "views", "evictions",
+                                       "forced", "aborted", "digest"};
+  util::Table kill_table(kill_header);
+  for (const harness::ExperimentResult& r : kills) {
+    kill_table.add_row({std::string(to_string(r.scheme)),
+                        util::Table::fixed(r.exec_time_s, 1),
+                        std::to_string(r.views_established),
+                        std::to_string(r.evictions),
+                        std::to_string(r.forced_recoveries),
+                        std::to_string(r.aborted_rounds),
+                        r.digest == normal.digest ? "ok" : "BAD"});
+  }
+  std::fputs(kill_table
+                 .render("Coordinator killed mid-run: the cluster detects the "
+                         "death, elects a successor and the run completes "
+                         "verified")
+                 .c_str(),
+             stdout);
+
+  using obs::json::Value;
+  Value doc = Value::object();
+  doc.set("table", Value::string("membership"));
+  doc.set("app", Value::string(app_label));
+  doc.set("nodes", Value::number(std::uint64_t{nodes}));
+  doc.set("seed", Value::number(seed));
+  doc.set("hb_period_s", Value::number(hb_period));
+  doc.set("normal_exec_s", Value::number(normal.exec_time_s));
+  doc.set("all_verified", Value::boolean(all_ok));
+  Value row_array = Value::array();
+  index = 0;
+  for (double timeout : timeouts) {
+    for (double loss : losses) {
+      Value entry = Value::object();
+      entry.set("detect_timeout_s", Value::number(timeout));
+      entry.set("loss", Value::number(loss));
+      Value cell_array = Value::array();
+      for (std::size_t s = 0; s < sweep_schemes().size(); ++s) {
+        const harness::ExperimentResult& r = results[index++];
+        cell_array.push_back(cell_json(r, r.digest == normal.digest));
+      }
+      entry.set("cells", std::move(cell_array));
+      row_array.push_back(std::move(entry));
+    }
+  }
+  doc.set("rows", std::move(row_array));
+  Value kill_array = Value::array();
+  for (const harness::ExperimentResult& r : kills) {
+    kill_array.push_back(cell_json(r, r.digest == normal.digest));
+  }
+  doc.set("coordinator_kill", std::move(kill_array));
+  const std::string path = cli.get("json-out", "BENCH_membership.json");
+  obs::write_text_file(path, doc.dump() + "\n");
+  std::printf("\nWrote %s\n", path.c_str());
+  return all_ok ? 0 : 1;
+}

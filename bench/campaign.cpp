@@ -15,6 +15,7 @@
 //              [--link-loss=0] [--link-dup=0] [--link-corrupt=0]
 //              [--link-delay=0] [--link-delay-mean=0.001] [--transport]
 //              [--io-error=0] [--io-degrade=1] [--bitrot=0] [--keep-depth=0]
+//              [--detect-timeout=0] [--hb-period=0.25] [--target-coordinator]
 //              [--json-out=BENCH_campaign.json] [--quick]
 //
 // --intervals sets the checkpoint interval to normal_exec/intervals;
@@ -27,7 +28,13 @@
 // I/O errors, degraded-throughput windows, silent image corruption); the
 // retrying storage client and verified multi-generation recovery absorb
 // them, with --keep-depth (0 = auto) controlling how many generations
-// retention keeps per rank. --quick shrinks the sweep for smoke testing
+// retention keeps per rank. --detect-timeout=S (> 0) arms the cluster-
+// membership service: failures go through heartbeat detection, quorum
+// eviction and coordinator election instead of the oracle, with
+// --hb-period setting the beacon period and --target-coordinator aiming
+// every strike at the elected coordinator; the detector needs the
+// reliable transport, so combining it with --no-transport is rejected.
+// --quick shrinks the sweep for smoke testing
 // (1 app, 2 MTBF points, 2 runs). Every run verifies the application
 // digest against the failure-free baseline; the output is byte-identical
 // across repeats with the same seeds.
@@ -102,6 +109,7 @@ int main(int argc, char** argv) {
   chklib::LinkFaultConfig link_faults;
   xplorer::StorageFaultConfig storage_faults;
   std::uint32_t keep_depth = 0;
+  std::optional<chklib::membership::MembershipConfig> membership;
   try {
     link_faults.drop = cli.get_prob("link-loss", 0.0);
     link_faults.duplicate = cli.get_prob("link-dup", 0.0);
@@ -118,11 +126,35 @@ int main(int argc, char** argv) {
     const long depth = cli.get_int("keep-depth", 0);
     if (depth < 0) throw std::invalid_argument("--keep-depth must be >= 0");
     keep_depth = static_cast<std::uint32_t>(depth);
+    const double detect_timeout = cli.get_nonneg_double("detect-timeout", 0.0);
+    const double hb_period = cli.get_nonneg_double("hb-period", 0.25);
+    if (detect_timeout > 0) {
+      chklib::membership::MembershipConfig m;
+      m.detect_timeout = des::Duration::seconds(detect_timeout);
+      m.hb_period = des::Duration::seconds(hb_period);
+      m.validate(nodes);
+      membership = m;
+    }
   } catch (const std::invalid_argument& err) {
     std::fprintf(stderr, "campaign: %s\n", err.what());
     return 2;
   }
   const bool transport = cli.get_bool("transport", true);
+  const bool target_coordinator = cli.get_bool("target-coordinator", false);
+  if (membership.has_value() && !transport) {
+    std::fprintf(stderr,
+                 "campaign: --detect-timeout requires the reliable transport — "
+                 "heartbeats over raw lossy links turn every detection timeout "
+                 "into a coin flip (drop --no-transport)\n");
+    return 2;
+  }
+  if (target_coordinator && !membership.has_value()) {
+    std::fprintf(stderr,
+                 "campaign: --target-coordinator needs --detect-timeout > 0 — "
+                 "without the membership service there is no elected "
+                 "coordinator to aim at\n");
+    return 2;
+  }
 
   // Failure-free baselines: the MTBF sweep and the checkpoint interval are
   // both expressed relative to each app's normal execution time, and the
@@ -181,6 +213,11 @@ int main(int argc, char** argv) {
         config.reliable_transport = transport;
       }
       if (storage_faults.enabled()) config.storage_faults = storage_faults;
+      config.membership = membership;
+      // The sweep always spans every scheme; independent schemes have no
+      // coordinator to aim at, so they keep the uniform victim draw.
+      config.target_coordinator =
+          target_coordinator && chklib::is_coordinated(cell.scheme);
       config.keep_depth = keep_depth;
       pending.push_back(std::async(std::launch::async, [config] {
         return faultsim::run_campaign(config);
@@ -242,6 +279,14 @@ int main(int argc, char** argv) {
   doc.set("io_degrade", Value::number(storage_faults.degrade_factor));
   doc.set("bitrot", Value::number(storage_faults.bitrot));
   doc.set("keep_depth", Value::number(std::uint64_t{keep_depth}));
+  doc.set("detect_timeout_s",
+          Value::number(membership.has_value()
+                            ? membership->detect_timeout.to_seconds()
+                            : 0.0));
+  doc.set("hb_period_s",
+          Value::number(membership.has_value() ? membership->hb_period.to_seconds()
+                                               : 0.0));
+  doc.set("target_coordinator", Value::boolean(target_coordinator));
   doc.set("all_verified", Value::boolean(all_verified));
   Value row_array = Value::array();
   cell_index = 0;

@@ -42,6 +42,9 @@ void CommSystem::deliver_app(Envelope env) {
     if (observer_ != nullptr) observer_->on_stale_dropped(env.dst, env.incarnation);
     return;
   }
+  // Crash gate: a down rank neither receives nor has its in-flight frames
+  // (transport retransmissions of pre-crash sends) delivered.
+  if (rank_down(env.src) || rank_down(env.dst)) return;
   endpoint(env.dst).deliver(std::move(env));
 }
 
@@ -51,13 +54,25 @@ void CommSystem::deliver_control(Rank dst, const ControlMsg& msg) {
     if (observer_ != nullptr) observer_->on_stale_dropped(dst, msg.incarnation);
     return;
   }
+  if (rank_down(msg.src) || rank_down(dst)) return;
   if (observer_ != nullptr) observer_->on_control_delivered(dst, msg);
+  if (is_membership_kind(msg.kind)) {
+    // Event-driven hand-off to the membership service; never a daemon
+    // mailbox message (no daemon knows these kinds).
+    if (membership_sink_) membership_sink_(dst, msg);
+    return;
+  }
   endpoint(dst).control_mailbox().send(msg);
 }
 
 void CommSystem::arrive_raw_app(const std::shared_ptr<Envelope>& carried) {
   if (faults_ == nullptr) {
     deliver_app(std::move(*carried));
+    return;
+  }
+  if (faults_->partitioned(carried->src, carried->dst,
+                           machine_->sim().now().to_nanos())) {
+    faults_->note_partition_drop();
     return;
   }
   const LinkFaultModel::Verdict verdict = faults_->judge();
@@ -85,6 +100,10 @@ void CommSystem::arrive_raw_control(Rank dst, const ControlMsg& msg) {
     deliver_control(dst, msg);
     return;
   }
+  if (faults_->partitioned(msg.src, dst, machine_->sim().now().to_nanos())) {
+    faults_->note_partition_drop();
+    return;
+  }
   const LinkFaultModel::Verdict verdict = faults_->judge();
   if (verdict.drop) return;
   if (verdict.corrupt) return;
@@ -103,6 +122,7 @@ void CommSystem::arrive_raw_control(Rank dst, const ControlMsg& msg) {
 }
 
 void CommSystem::transmit(des::Process& self, Envelope env) {
+  if (rank_down(env.src)) return;  // zombie sender: nothing leaves the node
   if (hooks_ != nullptr) hooks_->on_send(env.src, env);
   env.incarnation = incarnation_;
   if (observer_ != nullptr) observer_->on_transmit(env);
@@ -123,6 +143,7 @@ void CommSystem::transmit(des::Process& self, Envelope env) {
 }
 
 void CommSystem::send_control(Rank src, Rank dst, ControlMsg msg) {
+  if (rank_down(src)) return;  // zombie background writer / stale timer
   msg.incarnation = incarnation_;
   if (tracer_ != nullptr) {
     tracer_->instant(obs::EventKind::kControlSend, static_cast<std::uint16_t>(src),

@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "chklib/comm/endpoint.hpp"
@@ -14,6 +16,12 @@
 #include "xplorer/machine.hpp"
 
 namespace chk::chklib {
+
+/// Control kinds consumed by the membership service rather than a protocol
+/// daemon's mailbox.
+[[nodiscard]] constexpr bool is_membership_kind(ControlKind kind) noexcept {
+  return kind >= ControlKind::kHeartbeat;
+}
 
 class CommSystem {
  public:
@@ -50,6 +58,26 @@ class CommSystem {
   /// physical copy re-evaluated, so stateful filters can drop only the
   /// first). Works with and without the transport.
   void set_control_drop_filter(Transport::ControlDropFilter filter);
+
+  /// Membership control kinds (heartbeats, suspicions, view changes) are
+  /// routed here instead of the destination's control mailbox — the
+  /// membership service is event-driven, not a daemon. Observer
+  /// notification still happens first, so monitors see membership traffic.
+  using MembershipSink = std::function<void(Rank dst, const ControlMsg&)>;
+  void set_membership_sink(MembershipSink sink) noexcept {
+    membership_sink_ = std::move(sink);
+  }
+
+  /// Crash gate: when set, a rank for which the gate returns true is down —
+  /// nothing it sends leaves the node and nothing addressed to it (or still
+  /// in flight from it) is delivered. This is how the membership service
+  /// models a crashed-but-undetected rank; the oracle-driven recovery path
+  /// never sets it.
+  using DownGate = std::function<bool(Rank)>;
+  void set_down_gate(DownGate gate) noexcept { down_gate_ = std::move(gate); }
+  [[nodiscard]] bool rank_down(Rank rank) const {
+    return down_gate_ && down_gate_(rank);
+  }
 
   /// Application-message transmission (sender process context): applies
   /// hooks, charges sender CPU, then hands the envelope to the network.
@@ -106,6 +134,9 @@ class CommSystem {
   [[nodiscard]] std::uint64_t link_delayed() const noexcept {
     return faults_ != nullptr ? faults_->delayed() : 0;
   }
+  [[nodiscard]] std::uint64_t partition_drops() const noexcept {
+    return faults_ != nullptr ? faults_->partition_drops() : 0;
+  }
   void reset_stats() noexcept;
 
  private:
@@ -126,6 +157,8 @@ class CommSystem {
   std::unique_ptr<LinkFaultModel> faults_;
   std::unique_ptr<Transport> transport_;
   Transport::ControlDropFilter raw_drop_filter_;
+  MembershipSink membership_sink_;
+  DownGate down_gate_;
   std::uint32_t incarnation_ = 0;
   std::uint64_t app_messages_ = 0;
   std::uint64_t app_bytes_ = 0;

@@ -45,6 +45,12 @@ enum class ControlKind : std::uint8_t {
   kTokenRequest,   ///< writer -> arbiter: request the stagger grant (Indep_MS)
   kTokenRelease,   ///< writer -> arbiter: done writing, grant the next (Indep_MS)
   kTokenBeacon,    ///< writer -> coordinator: stagger token passed (watchdog progress)
+  // ---- cluster membership (src/chklib/membership) --------------------------
+  kHeartbeat,      ///< rank -> all: I am alive (periodic beacon)
+  kSuspect,        ///< detector -> election candidate: `epoch` looks dead to me
+  kViewChange,     ///< candidate -> all: adopt view `view` with members `members`
+  kViewAck,        ///< member -> proposer: view `view` accepted here
+  kJoinRequest,    ///< fenced rank -> coordinator: re-admit me to the view
 };
 
 struct ControlMsg {
@@ -52,6 +58,14 @@ struct ControlMsg {
   Rank src = 0;
   std::uint32_t epoch = 0;
   std::uint32_t incarnation = 0;
+  /// Membership view id this message was sent under (0 = pre-membership /
+  /// detector off). Round messages are stamped so a coordinator elected at
+  /// a higher view can reject acks from an older round, and the monitor can
+  /// check that no committed round spans two views.
+  std::uint64_t view = 0;
+  /// kViewChange: proposed member set as a rank bitmap (bit r = rank r).
+  /// kSuspect: bit set for the suspected rank.
+  std::uint64_t members = 0;
 };
 
 /// Modelled wire size of a control message (header + fields).

@@ -36,6 +36,26 @@ void LinkFaultConfig::validate() const {
   check_prob("link delay probability", delay_prob);
   check_nonneg("link delay mean", delay_mean_s);
   check_nonneg("link duplicate lag mean", dup_lag_mean_s);
+  check_nonneg("partition period", partition_period_s);
+  check_nonneg("partition duration", partition_duration_s);
+  if (partition_duration_s > 0 && partition_period_s > 0 &&
+      partition_duration_s > partition_period_s) {
+    throw std::invalid_argument(
+        "partition duration must not exceed the partition period, got " +
+        std::to_string(partition_duration_s) + " > " +
+        std::to_string(partition_period_s));
+  }
+}
+
+bool LinkFaultModel::partitioned(std::size_t a, std::size_t b,
+                                 std::int64_t now_ns) const noexcept {
+  if (!cfg_.partition_enabled()) return false;
+  const auto target = static_cast<std::size_t>(cfg_.partition_rank);
+  if (a != target && b != target) return false;
+  const auto period_ns = to_ns(cfg_.partition_period_s);
+  const auto duration_ns = to_ns(cfg_.partition_duration_s);
+  if (period_ns <= 0) return false;
+  return now_ns % period_ns < duration_ns;
 }
 
 LinkFaultModel::Verdict LinkFaultModel::judge() {

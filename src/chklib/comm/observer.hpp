@@ -68,6 +68,16 @@ class InvariantObserver {
     (void)envelopes;
   }
 
+  /// A coordinated checkpoint round was aborted (watchdog timeout or a
+  /// membership view change): writes begun under it may still be in flight
+  /// and legitimately overlap the re-initiated round's first writer.
+  virtual void on_round_abort(std::uint32_t epoch) { (void)epoch; }
+  /// The stagger-token watchdog re-issued epoch `epoch`'s ring token. If
+  /// the original was merely delayed (not destroyed), the ring briefly
+  /// carries two tokens and same-epoch writes may overlap — a performance
+  /// degradation, not a safety violation (both images are valid tentatives).
+  virtual void on_token_regenerated(std::uint32_t epoch) { (void)epoch; }
+
   // ---- stable-storage checkpoint writes ----------------------------------
   /// `rank` started writing checkpoint image `index` to stable storage.
   virtual void on_image_write_begin(Rank rank, std::uint32_t index) {

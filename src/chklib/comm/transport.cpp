@@ -53,6 +53,8 @@ std::uint64_t Transport::checksum_of(const Frame& frame) {
     mix(static_cast<std::uint64_t>(frame.msg.src));
     mix(frame.msg.epoch);
     mix(frame.msg.incarnation);
+    mix(frame.msg.view);
+    mix(frame.msg.members);
   }
   return h;
 }
@@ -112,6 +114,16 @@ void Transport::on_frame_arrival(Frame frame) {
   // below the fault model so retransmitted copies are re-evaluated.
   if (frame.kind == FrameKind::kControl && drop_filter_ && drop_filter_(frame.msg)) {
     return;
+  }
+  if (faults_ != nullptr) {
+    // Physical travel direction: acks go frame.dst -> frame.src (mirroring
+    // transmit_frame). Partition drops consume no RNG draws.
+    const Rank phys_from = frame.kind == FrameKind::kAck ? frame.dst : frame.src;
+    const Rank phys_to = frame.kind == FrameKind::kAck ? frame.src : frame.dst;
+    if (faults_->partitioned(phys_from, phys_to, sim_->now().to_nanos())) {
+      faults_->note_partition_drop();
+      return;
+    }
   }
   if (faults_ != nullptr) {
     const LinkFaultModel::Verdict verdict = faults_->judge();

@@ -1,0 +1,405 @@
+#include "chklib/membership/service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "obs/tracer.hpp"
+#include "util/logging.hpp"
+
+namespace chk::chklib::membership {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t full_bitmap(std::size_t n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+}  // namespace
+
+void MembershipConfig::validate(std::size_t num_ranks) const {
+  if (num_ranks == 0 || num_ranks > 64) {
+    throw std::invalid_argument("membership: member bitmaps support 1..64 ranks");
+  }
+  if (hb_period <= des::Duration::zero()) {
+    throw std::invalid_argument("membership: hb_period must be positive");
+  }
+  if (detect_timeout <= hb_period) {
+    throw std::invalid_argument("membership: detect_timeout must exceed hb_period");
+  }
+  if (rejoin_grace < des::Duration::zero()) {
+    throw std::invalid_argument("membership: rejoin_grace must be non-negative");
+  }
+  if (suspect_quorum == 0) {
+    throw std::invalid_argument("membership: suspect_quorum must be at least 1");
+  }
+}
+
+MembershipService::MembershipService(Runtime& runtime, RecoveryManager& recovery,
+                                     MembershipConfig config, util::Rng rng)
+    : rt_(&runtime),
+      recovery_(&recovery),
+      cfg_(config),
+      num_ranks_(runtime.num_ranks()),
+      rng_(rng) {
+  cfg_.validate(num_ranks_);
+  members_ = full_bitmap(num_ranks_);
+}
+
+MembershipService::~MembershipService() {
+  // Detach every seam: the runtime and recovery manager may outlive us.
+  rt_->comm().set_membership_sink(nullptr);
+  rt_->comm().set_down_gate(nullptr);
+  recovery_->set_failure_interceptor(nullptr);
+  recovery_->remove_observer(this);
+}
+
+void MembershipService::start() {
+  if (started_) return;
+  started_ = true;
+
+  rt_->comm().set_membership_sink(
+      [this](Rank dst, const ControlMsg& msg) { on_control(dst, msg); });
+  rt_->comm().set_down_gate([this](Rank r) { return down_.contains(r); });
+  recovery_->set_failure_interceptor([this](Rank r) { return crash(r); });
+  recovery_->add_observer(this);
+
+  const des::TimePoint now = rt_->sim().now();
+  last_heard_.assign(num_ranks_, std::vector<des::TimePoint>(num_ranks_, now));
+  suspects_.assign(num_ranks_, std::vector<bool>(num_ranks_, false));
+  excluded_since_.assign(num_ranks_, now);
+  episode_open_.assign(num_ranks_, false);
+
+  // The stream's only draws: one heartbeat phase per rank, in rank order, so
+  // the membership RNG consumption is schedule-independent by construction.
+  phase_ns_.resize(num_ranks_);
+  const auto period_ns = static_cast<std::uint64_t>(cfg_.hb_period.to_nanos());
+  for (Rank r = 0; r < num_ranks_; ++r) {
+    phase_ns_[r] = static_cast<std::int64_t>(rng_.uniform_u64(period_ns));
+  }
+  // Sweeps run on the same period, offset half a beat from the rank's own
+  // beacon so a sweep never races its own just-sent heartbeat.
+  for (Rank r = 0; r < num_ranks_; ++r) {
+    rt_->sim().schedule_after(des::Duration::nanos(phase_ns_[r]),
+                              [this, r] { heartbeat_tick(r); });
+    rt_->sim().schedule_after(des::Duration::nanos(phase_ns_[r]) + cfg_.hb_period / 2,
+                              [this, r] { sweep_tick(r); });
+  }
+}
+
+void MembershipService::finalize() {
+  const std::int64_t now_ns = rt_->sim().now().to_nanos();
+  for (Rank r = 0; r < num_ranks_; ++r) {
+    if (!episode_open_[r]) continue;
+    episode_open_[r] = false;
+    if (obs::Tracer* tracer = rt_->tracer()) {
+      tracer->span(obs::EventKind::kMembershipWait, static_cast<std::uint16_t>(r),
+                   excluded_since_[r].to_nanos(), now_ns, 0,
+                   down_.contains(r) ? 1u : 2u);
+    }
+  }
+}
+
+des::Duration MembershipService::grace() const noexcept {
+  return cfg_.rejoin_grace > des::Duration::zero() ? cfg_.rejoin_grace
+                                                   : cfg_.detect_timeout * 2;
+}
+
+std::uint32_t MembershipService::effective_quorum() const noexcept {
+  const auto live = static_cast<std::uint32_t>(std::popcount(members_));
+  return std::min(cfg_.suspect_quorum, std::max(1u, live - 1));
+}
+
+Rank MembershipService::candidate_of(Rank r) const {
+  for (Rank m = 0; m < num_ranks_; ++m) {
+    if (is_member(m) && (m == r || !suspects_[r][m])) return m;
+  }
+  return r;
+}
+
+void MembershipService::begin_exclusion(Rank r) {
+  if (episode_open_[r]) return;
+  episode_open_[r] = true;
+  excluded_since_[r] = rt_->sim().now();
+}
+
+void MembershipService::end_exclusion(Rank r) {
+  if (!episode_open_[r]) return;
+  if (down_.contains(r) || fenced_.contains(r)) return;  // still excluded
+  episode_open_[r] = false;
+  if (obs::Tracer* tracer = rt_->tracer()) {
+    tracer->span(obs::EventKind::kMembershipWait, static_cast<std::uint16_t>(r),
+                 excluded_since_[r].to_nanos(), rt_->sim().now().to_nanos());
+  }
+}
+
+void MembershipService::heartbeat_tick(Rank r) {
+  if (!down_.contains(r)) {
+    for (Rank q = 0; q < num_ranks_; ++q) {
+      if (q == r) continue;
+      ++stats_.heartbeats_sent;
+      rt_->comm().send_control(
+          r, q, ControlMsg{.kind = ControlKind::kHeartbeat, .src = r, .view = view_});
+    }
+  }
+  rt_->sim().schedule_after(cfg_.hb_period, [this, r] { heartbeat_tick(r); });
+}
+
+void MembershipService::sweep_tick(Rank r) {
+  if (!detection_paused_ && !down_.contains(r)) {
+    if (fenced_.contains(r)) {
+      // Fenced but alive: petition the coordinator for re-admission.
+      rt_->comm().send_control(
+          r, coordinator(),
+          ControlMsg{.kind = ControlKind::kJoinRequest, .src = r, .view = view_});
+    } else if (is_member(r)) {
+      const des::TimePoint now = rt_->sim().now();
+      for (Rank m = 0; m < num_ranks_; ++m) {
+        if (m == r || !is_member(m)) continue;
+        if (now - last_heard_[r][m] > cfg_.detect_timeout) {
+          if (!suspects_[r][m]) {
+            suspects_[r][m] = true;
+            ++stats_.suspicions;
+          }
+        } else {
+          suspects_[r][m] = false;
+        }
+      }
+      const Rank c = candidate_of(r);
+      if (c == r) {
+        maybe_propose(r);
+      } else {
+        // Re-report every sweep while suspected: the candidate may have
+        // changed, and lost reports must not stall the election.
+        for (Rank m = 0; m < num_ranks_; ++m) {
+          if (!suspects_[r][m]) continue;
+          rt_->comm().send_control(r, c,
+                                   ControlMsg{.kind = ControlKind::kSuspect,
+                                              .src = r,
+                                              .view = view_,
+                                              .members = std::uint64_t{1} << m});
+        }
+      }
+    }
+  }
+  rt_->sim().schedule_after(cfg_.hb_period, [this, r] { sweep_tick(r); });
+}
+
+void MembershipService::on_control(Rank dst, const ControlMsg& msg) {
+  if (!started_ || detection_paused_) return;
+  switch (msg.kind) {
+    case ControlKind::kHeartbeat:
+      last_heard_[dst][msg.src] = rt_->sim().now();
+      suspects_[dst][msg.src] = false;
+      break;
+    case ControlKind::kSuspect:
+      // Quorum state is the (globally shared) suspicion matrix; the report's
+      // arrival is what gives the candidate an event to evaluate it on.
+      maybe_propose(dst);
+      break;
+    case ControlKind::kViewChange:
+      if (msg.view > view_) {
+        // A competing proposal won; drop ours if it superseded it.
+        if (msg.view >= proposed_view_) {
+          proposed_view_ = 0;
+          proposed_members_ = 0;
+          view_acks_.clear();
+        }
+        adopt(msg);
+      }
+      if (msg.view == view_ && is_member(dst)) {
+        rt_->comm().send_control(
+            dst, msg.src,
+            ControlMsg{.kind = ControlKind::kViewAck, .src = dst, .view = msg.view});
+      }
+      break;
+    case ControlKind::kViewAck:
+      if (proposed_view_ != 0 && msg.view == proposed_view_) {
+        view_acks_.insert(msg.src);
+        const std::size_t majority =
+            static_cast<std::size_t>(std::popcount(proposed_members_)) / 2 + 1;
+        if (view_acks_.size() >= majority) establish();
+      }
+      break;
+    case ControlKind::kJoinRequest: {
+      if (dst != coordinator() || is_member(msg.src)) break;
+      const std::uint64_t readmitted = members_ | (std::uint64_t{1} << msg.src);
+      if (proposed_view_ != 0 && proposed_members_ == readmitted) break;
+      propose(dst, readmitted);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MembershipService::maybe_propose(Rank at) {
+  if (detection_paused_ || !is_member(at)) return;
+  const std::uint32_t quorum = effective_quorum();
+  std::uint64_t suspected = 0;
+  for (Rank m = 0; m < num_ranks_; ++m) {
+    if (!is_member(m)) continue;
+    std::uint32_t reporters = 0;
+    for (Rank r = 0; r < num_ranks_; ++r) {
+      if (r != m && is_member(r) && suspects_[r][m]) ++reporters;
+    }
+    if (reporters >= quorum) suspected |= std::uint64_t{1} << m;
+  }
+  if (suspected == 0) return;
+  // The candidate proposing the eviction is the lowest surviving member —
+  // which makes it the new view's coordinator by the view-id encoding.
+  Rank proposer = num_ranks_;
+  for (Rank m = 0; m < num_ranks_; ++m) {
+    if (is_member(m) && ((suspected >> m) & 1u) == 0) {
+      proposer = m;
+      break;
+    }
+  }
+  if (proposer != at) return;
+  const std::uint64_t survivors = members_ & ~suspected;
+  if (proposed_view_ != 0 && proposed_members_ == survivors) return;
+  propose(proposer, survivors);
+}
+
+void MembershipService::propose(Rank proposer, std::uint64_t new_members) {
+  const std::uint64_t base = std::max(view_, proposed_view_);
+  const std::uint64_t next = (base / num_ranks_ + 1) * num_ranks_ + proposer;
+  ++stats_.proposals;
+  CHK_INFO("membership", "rank {} proposes view {} members {:#x}", proposer, next,
+           new_members);
+  for (Rank q = 0; q < num_ranks_; ++q) {
+    if (q == proposer) continue;
+    rt_->comm().send_control(proposer, q,
+                             ControlMsg{.kind = ControlKind::kViewChange,
+                                        .src = proposer,
+                                        .view = next,
+                                        .members = new_members});
+  }
+  proposed_view_ = next;
+  proposed_members_ = new_members;
+  view_acks_.clear();
+  view_acks_.insert(proposer);
+  // Global-state model: the proposer adopts its own proposal at once; the
+  // broadcast above carries it to everyone else (and collects the acks that
+  // establish it). Note apply-side effects may start a rollback recovery,
+  // which clears the proposal bookkeeping set just above — that is correct:
+  // the restart, not the ack quorum, confirms such views.
+  apply_view(next, new_members);
+}
+
+void MembershipService::adopt(const ControlMsg& msg) { apply_view(msg.view, msg.members); }
+
+void MembershipService::apply_view(std::uint64_t view, std::uint64_t members) {
+  const std::uint64_t previous = members_;
+  view_ = view;
+  members_ = members;
+  // Fresh detector slate for the new view: no suspicion carries across.
+  const des::TimePoint now = rt_->sim().now();
+  for (auto& row : suspects_) std::fill(row.begin(), row.end(), false);
+  for (auto& row : last_heard_) std::fill(row.begin(), row.end(), now);
+
+  const std::uint64_t removed = previous & ~members;
+  const std::uint64_t added = members & ~previous;
+  Rank dead = num_ranks_;
+  for (Rank r = 0; r < num_ranks_; ++r) {
+    if ((removed >> r) & 1u) {
+      ++stats_.evictions;
+      if (down_.contains(r)) {
+        if (dead == num_ranks_) dead = r;
+      } else {
+        ++stats_.wrongful_evictions;
+        fenced_.insert(r);
+        begin_exclusion(r);
+        CHK_INFO("membership", "rank {} fenced by view {} (wrongful eviction)", r, view);
+        if (on_fence_) on_fence_(r, true);
+      }
+    } else if ((added >> r) & 1u) {
+      if (fenced_.erase(r) > 0) {
+        ++stats_.rejoins;
+        end_exclusion(r);
+        CHK_INFO("membership", "rank {} rejoins in view {}", r, view);
+        if (on_fence_) on_fence_(r, false);
+      }
+    }
+  }
+  if (dead < num_ranks_) {
+    // A confirmed-dead member was evicted: hand over to rollback recovery.
+    // The whole-application restart is the strongest establishment this
+    // view can get, so count it here (its acks die with the incarnation).
+    ++stats_.views_established;
+    CHK_INFO("membership", "view {} evicts crashed rank {}; starting recovery", view,
+             dead);
+    recovery_->recover_now(dead);
+  }
+}
+
+void MembershipService::establish() {
+  ++stats_.views_established;
+  proposed_view_ = 0;
+  proposed_members_ = 0;
+  view_acks_.clear();
+  CHK_INFO("membership", "view {} established (coordinator {})", view_, coordinator());
+  if (on_view_established_) on_view_established_(view_);
+}
+
+bool MembershipService::crash(Rank r) {
+  if (!started_) return false;
+  // A strike landing while a rollback restore is in flight stays with the
+  // oracle path: overlapping-failure semantics (abort + re-plan) predate the
+  // membership layer and must not change under it.
+  if (recovery_->recovering()) return false;
+  if (down_.contains(r)) return true;  // already silent — nothing new to model
+  ++stats_.crashes;
+  down_.insert(r);
+  begin_exclusion(r);
+  // A fenced rank that now really dies stays in one continuous exclusion
+  // episode; it just changes character.
+  fenced_.erase(r);
+  rt_->kill_app(r);
+  if (obs::Tracer* tracer = rt_->tracer()) {
+    tracer->instant(obs::EventKind::kFailure, static_cast<std::uint16_t>(r),
+                    rt_->sim().now().to_nanos(), 0, 1);
+  }
+  CHK_INFO("membership", "rank {} crashed silently; cluster must detect it", r);
+  // Deadman fallback: if the eviction quorum never assembles (e.g. the
+  // detector is configured far too lax for the workload's lifetime), force
+  // the rollback rather than hang the application forever.
+  const des::Duration deadman = cfg_.detect_timeout * 2 + grace();
+  rt_->sim().schedule_after(deadman, [this, r] {
+    if (down_.contains(r) && !recovery_->recovering()) {
+      ++stats_.forced_recoveries;
+      CHK_INFO("membership", "deadman: rank {} still undetected; forcing recovery", r);
+      recovery_->recover_now(r);
+    }
+  });
+  return true;
+}
+
+void MembershipService::on_recovery_begin(Rank /*failed*/) {
+  if (!started_) return;
+  detection_paused_ = true;
+  proposed_view_ = 0;
+  proposed_members_ = 0;
+  view_acks_.clear();
+  for (auto& row : suspects_) std::fill(row.begin(), row.end(), false);
+  // The rollback restarts every rank: exclusions end here, membership goes
+  // back to the full set. The view id stays monotone — the elected
+  // coordinator survives the recovery.
+  down_.clear();
+  fenced_.clear();
+  for (Rank r = 0; r < num_ranks_; ++r) end_exclusion(r);
+  members_ = full_bitmap(num_ranks_);
+}
+
+void MembershipService::on_recovery_end(const RecoveryReport& report) {
+  if (!started_) return;
+  if (report.interrupted) return;  // a newer recovery owns the resume
+  // Runs in the last loader's process context — defer to kernel context.
+  rt_->sim().schedule_now([this] {
+    detection_paused_ = false;
+    const des::TimePoint now = rt_->sim().now();
+    for (auto& row : last_heard_) std::fill(row.begin(), row.end(), now);
+  });
+}
+
+}  // namespace chk::chklib::membership

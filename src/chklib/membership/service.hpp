@@ -1,0 +1,197 @@
+// Cluster membership: heartbeat failure detection, quorum-tracked views,
+// deterministic coordinator election, and fencing.
+//
+// Until now every failure in the simulator was oracle-driven: the faultsim
+// injector *told* the runtime a rank died and recovery started instantly,
+// and the coordinator was immortal by construction. This service closes
+// that gap with the architecture of pacemaker's heartbeat/crmd/fencing
+// split, scaled to the simulator:
+//
+//   detector   every rank broadcasts a periodic kHeartbeat beacon over the
+//              normal control plane (reliable transport underneath, so the
+//              lossy-link model can starve it); a per-rank sweep timer
+//              suspects any member silent for longer than detect_timeout.
+//   election   suspicion reports flow to the current *candidate* (the
+//              lowest member the reporter does not suspect). Once
+//              suspect_quorum distinct members suspect the same rank, the
+//              candidate proposes a new view excluding it: a kViewChange
+//              broadcast carrying a strictly increasing view id and the
+//              member bitmap. View ids encode their proposer
+//              (view % num_ranks == proposer), so the elected coordinator
+//              of a view is a pure function of its id — at most one live
+//              coordinator per membership epoch, by construction. Members
+//              ack; a majority of the proposed membership establishes the
+//              view (quorum tracking).
+//   fencing    a live rank excluded from an adopted view is *fenced*: the
+//              protocol layer discards its in-flight round state (via the
+//              fence callback) and its acks stop counting toward commits.
+//              A fenced rank petitions the coordinator with kJoinRequest
+//              每 sweep until a re-adding view is established.
+//   crash      RecoveryManager::fail_now strikes are intercepted: instead
+//              of the oracle rollback, the victim merely goes silent (its
+//              application process dies and the comm down-gate swallows
+//              its traffic). The cluster must *detect* the death; rollback
+//              recovery starts only when the crashed rank is evicted from
+//              the view (with a deadman fallback in case the eviction
+//              quorum never assembles).
+//
+// Determinism: the only RNG draws are the per-rank timer phases, taken
+// once at start() in rank order from a dedicated schedule-independent
+// stream (tag 0xBEA7 in the harness), so the membership machinery never
+// perturbs any other fault domain. With no service constructed the
+// simulation is bit-identical to pre-membership builds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "chklib/recovery/manager.hpp"
+#include "chklib/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace chk::chklib::membership {
+
+struct MembershipConfig {
+  /// Heartbeat broadcast period per rank (phase-jittered at start).
+  des::Duration hb_period = des::Duration::millis(250);
+  /// A member silent for longer than this is suspected. The central
+  /// tradeoff knob: aggressive values detect real crashes fast but evict
+  /// live ranks under link loss (the false-suspicion storm regime).
+  des::Duration detect_timeout = des::Duration::seconds(2);
+  /// Extra slack the deadman recovery fallback grants a crashed rank's
+  /// eviction before forcing the rollback. Zero = auto (2x detect_timeout).
+  des::Duration rejoin_grace = des::Duration::zero();
+  /// Distinct members (including the candidate itself) that must suspect a
+  /// rank before its eviction is proposed. Clamped to the member count - 1.
+  std::uint32_t suspect_quorum = 2;
+  /// Stream selector forked off the experiment seed (campaign runs differ
+  /// only in membership timer phases).
+  std::uint64_t stream = 0;
+
+  /// Throws std::invalid_argument on nonsense values (num_ranks > 64,
+  /// non-positive periods, detect_timeout <= hb_period, quorum == 0).
+  void validate(std::size_t num_ranks) const;
+};
+
+struct MembershipStats {
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t suspicions = 0;        ///< fresh (observer, subject) suspicions
+  std::uint64_t proposals = 0;         ///< kViewChange broadcasts (elections initiated)
+  std::uint64_t views_established = 0; ///< proposals that gathered their ack majority
+  std::uint64_t evictions = 0;         ///< members removed by an adopted view
+  std::uint64_t wrongful_evictions = 0;///< ... of which were actually alive (fenced)
+  std::uint64_t rejoins = 0;           ///< fenced ranks re-admitted by a view
+  std::uint64_t crashes = 0;           ///< fail_now strikes absorbed as silent crashes
+  std::uint64_t forced_recoveries = 0; ///< deadman fallback fired (eviction stalled)
+};
+
+class MembershipService final : public RecoveryObserver {
+ public:
+  MembershipService(Runtime& runtime, RecoveryManager& recovery,
+                    MembershipConfig config, util::Rng rng);
+  MembershipService(const MembershipService&) = delete;
+  MembershipService& operator=(const MembershipService&) = delete;
+  ~MembershipService() override;
+
+  /// Install the comm sink/gate and the recovery interceptor, draw the
+  /// timer phases (the stream's only draws, in rank order), and arm the
+  /// heartbeat + sweep timers. Call once, before traffic starts.
+  void start();
+
+  /// Close any membership-exclusion episode still open (emits the final
+  /// kMembershipWait spans). Call after the simulation stops.
+  void finalize();
+
+  // ---- view / protocol integration -----------------------------------------
+  [[nodiscard]] std::uint64_t view() const noexcept { return view_; }
+  /// The elected coordinator: a pure function of the current view id.
+  [[nodiscard]] Rank coordinator() const noexcept {
+    return static_cast<Rank>(view_ % num_ranks_);
+  }
+  [[nodiscard]] bool is_member(Rank r) const noexcept {
+    return ((members_ >> r) & 1u) != 0;
+  }
+  /// Ground truth (simulator-side) — the cluster itself only sees views.
+  [[nodiscard]] bool is_down(Rank r) const noexcept { return down_.contains(r); }
+  [[nodiscard]] bool is_fenced(Rank r) const noexcept { return fenced_.contains(r); }
+
+  /// Invoked in kernel context when a proposed view gathered its ack
+  /// majority — the protocol aborts an in-flight round and re-initiates it
+  /// under the new coordinator at a higher epoch.
+  void set_view_established_callback(std::function<void(std::uint64_t)> cb) {
+    on_view_established_ = std::move(cb);
+  }
+  /// Invoked in kernel context when a live rank is fenced (true) or
+  /// rejoins (false) — the protocol discards the rank's in-flight round
+  /// state so a wrongly-evicted rank cannot corrupt a commit.
+  void set_fence_callback(std::function<void(Rank, bool)> cb) {
+    on_fence_ = std::move(cb);
+  }
+
+  [[nodiscard]] const MembershipStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const MembershipConfig& config() const noexcept { return cfg_; }
+
+  /// RecoveryManager failure-interceptor target: absorb a strike as a
+  /// silent crash the cluster must detect. Returns false (declining the
+  /// interception, so the oracle overlap path runs) while a rollback
+  /// restore is already in flight.
+  bool crash(Rank r);
+
+  // ---- RecoveryObserver ------------------------------------------------------
+  void on_recovery_begin(Rank failed) override;
+  void on_recovery_end(const RecoveryReport& report) override;
+
+ private:
+  void on_control(Rank dst, const ControlMsg& msg);
+  void heartbeat_tick(Rank r);
+  void sweep_tick(Rank r);
+  /// Quorum scan triggered at `at` (a suspicion report arrived there, or
+  /// its own sweep found one); proposes iff `at` is the current candidate.
+  void maybe_propose(Rank at);
+  void propose(Rank proposer, std::uint64_t new_members);
+  void adopt(const ControlMsg& msg);
+  /// Flip the shared view state and run the transition side effects
+  /// (fencing, rejoin, crash-eviction recovery hand-off).
+  void apply_view(std::uint64_t view, std::uint64_t members);
+  void establish();
+  /// The election candidate from `r`'s point of view: the lowest member
+  /// `r` does not currently suspect.
+  [[nodiscard]] Rank candidate_of(Rank r) const;
+  [[nodiscard]] std::uint32_t effective_quorum() const noexcept;
+  [[nodiscard]] des::Duration grace() const noexcept;
+  void begin_exclusion(Rank r);
+  void end_exclusion(Rank r);
+
+  Runtime* rt_;
+  RecoveryManager* recovery_;
+  MembershipConfig cfg_;
+  std::size_t num_ranks_;
+  util::Rng rng_;
+  MembershipStats stats_;
+  std::function<void(std::uint64_t)> on_view_established_;
+  std::function<void(Rank, bool)> on_fence_;
+  bool started_ = false;
+
+  // View state. view 0 = the initial full-membership view (coordinator 0).
+  std::uint64_t view_ = 0;
+  std::uint64_t members_ = 0;  ///< rank bitmap of the current view
+  std::uint64_t proposed_view_ = 0;     ///< 0 = no proposal in flight
+  std::uint64_t proposed_members_ = 0;
+  std::set<Rank> view_acks_;
+
+  // Detector state.
+  std::vector<std::int64_t> phase_ns_;  ///< per-rank timer phase (the init draws)
+  std::vector<std::vector<des::TimePoint>> last_heard_;  ///< [observer][subject]
+  std::vector<std::vector<bool>> suspects_;              ///< [observer][subject]
+  bool detection_paused_ = false;  ///< while a rollback restore is in flight
+
+  // Ground truth + attribution episodes.
+  std::set<Rank> down_;
+  std::set<Rank> fenced_;
+  std::vector<des::TimePoint> excluded_since_;
+  std::vector<bool> episode_open_;
+};
+
+}  // namespace chk::chklib::membership

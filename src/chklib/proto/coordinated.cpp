@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "chklib/membership/service.hpp"
 #include "util/format.hpp"
 #include "util/logging.hpp"
 
@@ -24,6 +25,67 @@ void CoordinatedProtocol::start() {
   install_safe_points();
   spawn_daemons();
   schedule_next_round(cfg_.interval);
+}
+
+Rank CoordinatedProtocol::coordinator() const noexcept {
+  return membership_ != nullptr ? membership_->coordinator() : cfg_.coordinator;
+}
+
+std::uint64_t CoordinatedProtocol::current_view() const noexcept {
+  return membership_ != nullptr ? membership_->view() : 0;
+}
+
+void CoordinatedProtocol::set_membership(membership::MembershipService* membership) {
+  membership_ = membership;
+  if (membership_ != nullptr) {
+    membership_->set_view_established_callback(
+        [this](std::uint64_t) { on_view_established(); });
+    membership_->set_fence_callback(
+        [this](Rank r, bool fenced) { on_rank_fenced(r, fenced); });
+  }
+}
+
+void CoordinatedProtocol::on_view_established() {
+  // Coord_NBS: a write grant parked at a crashed holder would wedge the
+  // FIFO arbiter forever — advance it. A *fenced* (live) holder keeps the
+  // grant: its release is still coming.
+  if (grant_held_ && membership_ != nullptr && membership_->is_down(grant_holder_)) {
+    if (grant_queue_.empty()) {
+      grant_held_ = false;
+    } else {
+      const Rank next = grant_queue_.front();
+      grant_queue_.pop_front();
+      grant_holder_ = next;
+      rt_->comm().send_control(
+          coordinator(), next,
+          ControlMsg{ControlKind::kToken, coordinator(), grant_epoch_, 0});
+    }
+  }
+  if (!round_in_progress_) return;
+  // The round in flight was initiated under the previous view: its
+  // outstanding acks are unmatchable now (they carry the old view stamp).
+  // Abort it and let the new view's coordinator re-initiate at the next
+  // epoch — this is how the schemes survive coordinator death mid-round.
+  note_round_abort(round_epoch_);
+  CHK_DEBUG("coord", "round {} aborted by view change at {}", round_epoch_,
+            rt_->sim().now().str());
+  round_watchdog_.cancel();
+  token_watchdog_.cancel();
+  round_in_progress_ = false;
+  begin_round(round_epoch_ + 1);
+}
+
+void CoordinatedProtocol::on_rank_fenced(Rank r, bool fenced) {
+  if (!fenced) return;  // a rejoining rank participates cleanly from the next round
+  Agent& agent = *agents_[r];
+  // Discard the rank's in-flight round state: no capture at the next safe
+  // point, no open channel log, no ack. Its token semaphore is left alone —
+  // a staggered write may be blocked in acquire, and the arbiter still owes
+  // it the grant.
+  agent.pending_epoch = agent.epoch;
+  agent.logging = false;
+  agent.finishing = false;
+  agent.log.messages.clear();
 }
 
 void CoordinatedProtocol::install_safe_points() {
@@ -50,22 +112,25 @@ void CoordinatedProtocol::begin_round(std::uint32_t epoch) {
   if (round_in_progress_) return;
   round_in_progress_ = true;
   round_epoch_ = epoch;
+  round_view_ = current_view();
   acked_.clear();
   CHK_DEBUG("coord", "round {} begins at {}", epoch, rt_->sim().now().str());
   if (auto* tracer = rt_->tracer()) {
-    tracer->instant(obs::EventKind::kRoundBegin, static_cast<std::uint16_t>(cfg_.coordinator),
+    tracer->instant(obs::EventKind::kRoundBegin, static_cast<std::uint16_t>(coordinator()),
                     rt_->sim().now().to_nanos(), 0, epoch);
   }
   for (Rank r = 0; r < rt_->num_ranks(); ++r) {
-    rt_->comm().send_control(cfg_.coordinator, r,
-                             ControlMsg{ControlKind::kCkptRequest, cfg_.coordinator, epoch, 0});
+    rt_->comm().send_control(
+        coordinator(), r,
+        ControlMsg{ControlKind::kCkptRequest, coordinator(), epoch, 0, round_view_});
   }
   if (cfg_.scheme == Scheme::kCoordNBMS) {
     // Inject the stagger token at the head of the virtual ring (the
     // paper's token protocol; safe here because background writers never
     // block the applications).
-    rt_->comm().send_control(cfg_.coordinator, 0,
-                             ControlMsg{ControlKind::kToken, cfg_.coordinator, epoch, 0});
+    rt_->comm().send_control(
+        coordinator(), 0,
+        ControlMsg{ControlKind::kToken, coordinator(), epoch, 0, round_view_});
   }
   if (cfg_.round_timeout.to_nanos() > 0) {
     round_watchdog_.cancel();
@@ -84,14 +149,9 @@ void CoordinatedProtocol::begin_round(std::uint32_t epoch) {
 
 void CoordinatedProtocol::on_round_timeout(std::uint32_t epoch) {
   if (!round_in_progress_ || round_epoch_ != epoch) return;
-  ++stats_.aborted_rounds;
+  note_round_abort(epoch);
   CHK_DEBUG("coord", "round {} aborted at {} ({} / {} acks)", epoch,
             rt_->sim().now().str(), acked_.size(), rt_->num_ranks());
-  if (auto* tracer = rt_->tracer()) {
-    tracer->instant(obs::EventKind::kRoundAbort,
-                    static_cast<std::uint16_t>(cfg_.coordinator),
-                    rt_->sim().now().to_nanos(), 0, epoch);
-  }
   token_watchdog_.cancel();
   round_in_progress_ = false;
   if (is_staggered(cfg_.scheme) && !is_buffered(cfg_.scheme)) {
@@ -99,7 +159,10 @@ void CoordinatedProtocol::on_round_timeout(std::uint32_t epoch) {
         (!stall_valid_ || stall_holder_ == grant_holder_)) {
       stall_valid_ = true;
       stall_holder_ = grant_holder_;
-      if (++fruitless_rounds_ >= kGrantStallLimit) {
+      // With membership attached the stall may be a crashed/fenced holder
+      // instead of a lost release: detection + eviction (or the deadman)
+      // resolves it, so keep aborting rather than failing fast.
+      if (++fruitless_rounds_ >= kGrantStallLimit && membership_ == nullptr) {
         // The write grant has been parked at the same holder through
         // kGrantStallLimit consecutive rounds that produced zero acks:
         // the holder's grant-release was lost on the raw links and no
@@ -124,11 +187,22 @@ void CoordinatedProtocol::on_round_timeout(std::uint32_t epoch) {
       // blocked in the acquire forever; re-issue it. If the original did
       // arrive, the holder's epoch dedup drops this copy harmlessly.
       rt_->comm().send_control(
-          cfg_.coordinator, grant_holder_,
-          ControlMsg{ControlKind::kToken, cfg_.coordinator, grant_epoch_, 0});
+          coordinator(), grant_holder_,
+          ControlMsg{ControlKind::kToken, coordinator(), grant_epoch_, 0});
     }
   }
   begin_round(epoch + 1);
+}
+
+void CoordinatedProtocol::note_round_abort(std::uint32_t epoch) {
+  ++stats_.aborted_rounds;
+  ring_abort_floor_ = std::max(ring_abort_floor_, epoch);
+  if (auto* iobs = rt_->store().observer()) iobs->on_round_abort(epoch);
+  if (auto* tracer = rt_->tracer()) {
+    tracer->instant(obs::EventKind::kRoundAbort,
+                    static_cast<std::uint16_t>(coordinator()),
+                    rt_->sim().now().to_nanos(), 0, epoch);
+  }
 }
 
 void CoordinatedProtocol::arm_token_watchdog() {
@@ -145,17 +219,18 @@ void CoordinatedProtocol::on_token_timeout(std::uint32_t epoch) {
     // beacon) died on the link and re-issue it toward the next expected
     // holder. A rank that did receive the original drops the duplicate.
     ++stats_.tokens_regenerated;
+    if (auto* iobs = rt_->store().observer()) iobs->on_token_regenerated(epoch);
     CHK_DEBUG("coord", "stagger token regenerated toward rank {} (epoch {})",
               token_pos_, epoch);
     if (auto* tracer = rt_->tracer()) {
       tracer->instant(obs::EventKind::kTokenRegen,
-                      static_cast<std::uint16_t>(cfg_.coordinator),
+                      static_cast<std::uint16_t>(coordinator()),
                       rt_->sim().now().to_nanos(), 0,
                       static_cast<std::uint32_t>(token_pos_));
     }
     rt_->comm().send_control(
-        cfg_.coordinator, token_pos_,
-        ControlMsg{ControlKind::kToken, cfg_.coordinator, epoch, 0});
+        coordinator(), token_pos_,
+        ControlMsg{ControlKind::kToken, coordinator(), epoch, 0});
   }
   token_progress_ = false;
   arm_token_watchdog();
@@ -219,7 +294,14 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
         agent.grant_outstanding = false;
       } else {
         if (msg.epoch <= agent.last_token_epoch) break;
+        // An aborted round's token may still be in transit when the
+        // re-initiated round injects a fresh one at the ring head.
+        // Honouring it would put two live tokens in the ring — and the
+        // writer it admits would forward it relabelled with its own (live)
+        // epoch. Dead rounds' tokens die at their next hop.
+        if (msg.epoch <= ring_abort_floor_) break;
         agent.last_token_epoch = msg.epoch;
+        agent.ring_tokens.push_back(msg.epoch);
       }
       if (auto* tracer = rt_->tracer()) {
         tracer->instant(obs::EventKind::kTokenPass, static_cast<std::uint16_t>(r),
@@ -229,7 +311,7 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
       break;
     case ControlKind::kTokenBeacon:
       // Coord_NBMS ring progress report for the token watchdog.
-      if (r != cfg_.coordinator) break;
+      if (r != coordinator()) break;
       if (!round_in_progress_ || msg.epoch != round_epoch_) break;
       token_progress_ = true;
       if (static_cast<std::size_t>(msg.src) + 1 >= rt_->num_ranks()) {
@@ -239,30 +321,41 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
       }
       break;
     case ControlKind::kCkptAck: {
-      if (r != cfg_.coordinator) break;
+      if (r != coordinator()) break;
       if (!round_in_progress_ || msg.epoch != round_epoch_) break;
+      // Membership fencing: an ack from outside the round's view (an old
+      // round's straggler, or a rank evicted since the round began) must
+      // never count toward this commit.
+      if (membership_ != nullptr &&
+          (msg.view != round_view_ || !membership_->is_member(msg.src))) {
+        break;
+      }
       if (!acked_.insert(msg.src).second) break;
       if (acked_.size() == rt_->num_ranks()) {
         round_watchdog_.cancel();
         token_watchdog_.cancel();
         fruitless_rounds_ = 0;
         stall_valid_ = false;
+        // The view moved since this round began: its membership no longer
+        // backs the commit. Abort — the established-view callback normally
+        // gets here first, so this is the last line of defence.
+        if (membership_ != nullptr && membership_->view() != round_view_) {
+          note_round_abort(round_epoch_);
+          round_in_progress_ = false;
+          begin_round(round_epoch_ + 1);
+          break;
+        }
         // Phase 2: make the global checkpoint permanent, then tell everyone.
-        if (rt_->store().write_commit_blocking(self, cfg_.coordinator, round_epoch_) !=
+        if (rt_->store().write_commit_blocking(self, coordinator(), round_epoch_) !=
             xplorer::IoStatus::kOk) {
           // The commit record never achieved durability: epoch e stays
           // tentative (the committed epoch did not advance). Abort the
           // round and re-initiate at a higher epoch — the same path the
           // round watchdog takes.
           ++stats_.commit_write_failures;
-          ++stats_.aborted_rounds;
+          note_round_abort(round_epoch_);
           CHK_DEBUG("coord", "commit write for epoch {} failed terminally at {}; "
                     "re-initiating", round_epoch_, rt_->sim().now().str());
-          if (auto* tracer = rt_->tracer()) {
-            tracer->instant(obs::EventKind::kRoundAbort,
-                            static_cast<std::uint16_t>(cfg_.coordinator),
-                            rt_->sim().now().to_nanos(), 0, round_epoch_);
-          }
           round_in_progress_ = false;
           begin_round(round_epoch_ + 1);
           break;
@@ -270,13 +363,13 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
         ++stats_.committed_rounds;
         CHK_DEBUG("coord", "epoch {} committed at {}", round_epoch_, rt_->sim().now().str());
         if (auto* tracer = rt_->tracer()) {
-          tracer->instant(obs::EventKind::kCommit, static_cast<std::uint16_t>(cfg_.coordinator),
+          tracer->instant(obs::EventKind::kCommit, static_cast<std::uint16_t>(coordinator()),
                           rt_->sim().now().to_nanos(), 0, round_epoch_);
         }
         for (Rank q = 0; q < rt_->num_ranks(); ++q) {
-          rt_->comm().send_control(cfg_.coordinator, q,
-                                   ControlMsg{ControlKind::kCommit, cfg_.coordinator,
-                                              round_epoch_, 0});
+          rt_->comm().send_control(coordinator(), q,
+                                   ControlMsg{ControlKind::kCommit, coordinator(),
+                                              round_epoch_, 0, round_view_});
         }
         round_in_progress_ = false;
         schedule_next_round(cfg_.interval);
@@ -291,7 +384,7 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
       // fixed ring order would deadlock here — a rank blocked in its
       // (staggered) write stops sending, which can prevent the ring head
       // from ever reaching its safe point.
-      if (r != cfg_.coordinator) break;
+      if (r != coordinator()) break;
       if (grant_held_) {
         grant_queue_.push_back(msg.src);
       } else {
@@ -302,7 +395,7 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
       }
       break;
     case ControlKind::kTokenRelease:
-      if (r != cfg_.coordinator) break;
+      if (r != coordinator()) break;
       if (grant_queue_.empty()) {
         grant_held_ = false;
       } else {
@@ -312,6 +405,10 @@ void CoordinatedProtocol::handle_control(Rank r, des::Process& self, const Contr
         grant_epoch_ = msg.epoch;
         rt_->comm().send_control(r, next, ControlMsg{ControlKind::kToken, r, msg.epoch, 0});
       }
+      break;
+    default:
+      // Membership kinds are routed to the membership sink by the comm
+      // system and never reach a protocol daemon's mailbox.
       break;
   }
 }
@@ -387,14 +484,14 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
     // queue up instead of overlapping.
     if (is_staggered(cfg_.scheme)) {
       agent.grant_outstanding = true;
-      rt_->comm().send_control(r, cfg_.coordinator,
+      rt_->comm().send_control(r, coordinator(),
                                ControlMsg{ControlKind::kTokenRequest, r, epoch, 0});
       agent.token.acquire(carrier);
     }
     const xplorer::IoStatus wstatus =
         rt_->store().write_image_blocking(carrier, r, image, WriteContext::kAppBlocking);
     if (is_staggered(cfg_.scheme)) {
-      rt_->comm().send_control(r, cfg_.coordinator,
+      rt_->comm().send_control(r, coordinator(),
                                ControlMsg{ControlKind::kTokenRelease, r, epoch, 0});
     }
     if (wstatus == xplorer::IoStatus::kOk) {
@@ -427,7 +524,18 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
       util::format("ckwr-r{}-e{}", r, epoch),
       [this, r, image = std::move(image)](des::Process& self) mutable {
         Agent& a = *agents_[r];
-        if (is_staggered(cfg_.scheme)) a.token.acquire(self);
+        // The epoch of the token whose permit admits this writer. Usually
+        // the writer's own image index, but a straggler from a coalesced
+        // round may ride a newer token — the ring's identity belongs to
+        // the token, so that is the epoch this writer must forward.
+        std::uint32_t ring_epoch = image.index;
+        if (is_staggered(cfg_.scheme)) {
+          a.token.acquire(self);
+          if (!a.ring_tokens.empty()) {
+            ring_epoch = a.ring_tokens.front();
+            a.ring_tokens.pop_front();
+          }
+        }
         xplorer::Node& node = rt_->machine().node(r);
         node.begin_background_io();
         const xplorer::IoStatus wstatus = rt_->store().write_image_blocking(self, r, image);
@@ -436,12 +544,12 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
         // token arbitrates pipeline occupancy, not success.
         if (is_staggered(cfg_.scheme) && r + 1 < rt_->num_ranks()) {
           rt_->comm().send_control(r, r + 1,
-                                   ControlMsg{ControlKind::kToken, r, image.index, 0});
+                                   ControlMsg{ControlKind::kToken, r, ring_epoch, 0});
         }
         if (is_staggered(cfg_.scheme) && cfg_.token_timeout.to_nanos() > 0) {
           rt_->comm().send_control(
-              r, cfg_.coordinator,
-              ControlMsg{ControlKind::kTokenBeacon, r, image.index, 0});
+              r, coordinator(),
+              ControlMsg{ControlKind::kTokenBeacon, r, ring_epoch, 0});
         }
         if (wstatus == xplorer::IoStatus::kOk) {
           a.durable = true;
@@ -456,6 +564,9 @@ void CoordinatedProtocol::do_local_checkpoint(des::Process& carrier, Rank r,
 
 void CoordinatedProtocol::try_finish(Rank r, des::Process& proc, WriteContext log_ctx) {
   Agent& agent = *agents_[r];
+  // A fenced/evicted rank never contributes an ack: its cut may predate
+  // the view the round now runs under.
+  if (membership_ != nullptr && !membership_->is_member(r)) return;
   if (!agent.logging || agent.finishing || !agent.durable) return;
   const std::size_t needed = rt_->num_ranks() - 1;
   std::size_t have = 0;
@@ -477,8 +588,9 @@ void CoordinatedProtocol::try_finish(Rank r, des::Process& proc, WriteContext lo
       return;
     }
   }
-  rt_->comm().send_control(r, cfg_.coordinator,
-                           ControlMsg{ControlKind::kCkptAck, r, agent.epoch, 0});
+  rt_->comm().send_control(
+      r, coordinator(),
+      ControlMsg{ControlKind::kCkptAck, r, agent.epoch, 0, current_view()});
 }
 
 void CoordinatedProtocol::handle_commit(Rank r, std::uint32_t epoch) {
@@ -569,6 +681,7 @@ void CoordinatedProtocol::prepare_recovery(const RecoveryLine& line) {
     agent.log.messages.clear();
     agent.markers.clear();
     while (agent.token.try_acquire()) {}
+    agent.ring_tokens.clear();  // permits drained, their identities with them
     agent.tracker.reset();  // next capture is forced full
     agent.last_ckpt_epoch = line.index[r];
     // Post-recovery rounds run at epochs above the line, so re-seeding the
@@ -587,6 +700,9 @@ void CoordinatedProtocol::prepare_recovery(const RecoveryLine& line) {
   round_watchdog_.cancel();
   token_watchdog_.cancel();
   ring_done_ = true;
+  // Post-recovery rounds restart just above the line — aborts of the dead
+  // incarnation must not swallow their tokens (mirrors the monitor reset).
+  ring_abort_floor_ = 0;
   fruitless_rounds_ = 0;
   stall_valid_ = false;
 }

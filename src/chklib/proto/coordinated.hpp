@@ -37,6 +37,10 @@
 #include "chklib/proto/scheme.hpp"
 #include "des/sync.hpp"
 
+namespace chk::chklib::membership {
+class MembershipService;
+}  // namespace chk::chklib::membership
+
 namespace chk::chklib {
 
 class CoordinatedProtocol final : public Protocol {
@@ -103,6 +107,17 @@ class CoordinatedProtocol final : public Protocol {
   [[nodiscard]] bool round_in_progress() const noexcept { return round_in_progress_; }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
+  /// Attach the cluster-membership service (call before start()): the
+  /// coordinator becomes the *elected* one (cfg_.coordinator is only the
+  /// initial holder via view 0), round messages are stamped with the view
+  /// they run under, acks from evicted ranks stop counting, and fenced
+  /// ranks discard their in-flight round state instead of corrupting a
+  /// commit. Without it the protocol behaves exactly as before.
+  void set_membership(membership::MembershipService* membership);
+  /// The round-initiating coordinator: elected when membership is attached,
+  /// cfg_.coordinator otherwise.
+  [[nodiscard]] Rank coordinator() const noexcept;
+
  private:
   struct Agent {
     explicit Agent(des::Simulator& sim) : token(sim, 0) {}
@@ -123,6 +138,13 @@ class CoordinatedProtocol final : public Protocol {
     /// semaphore never creeps. Ring tokens carry strictly increasing
     /// epochs at any given rank, so the floor test is exact.
     std::uint32_t last_token_epoch = 0;
+    /// Epochs of accepted ring tokens whose permit is not yet consumed
+    /// (Coord_NBMS). Releases and acquires are FIFO-matched, so the front
+    /// entry is exactly the token that admits the next writer — the writer
+    /// forwards *that* epoch, not its own image index, so a straggler
+    /// admitted by a newer token cannot relabel (and thereby duplicate)
+    /// the ring token.
+    std::deque<std::uint32_t> ring_tokens;
     /// Coord_NBS: a write grant was requested and not yet received. Grants
     /// arriving without an outstanding request are duplicates (an abort
     /// regrant racing the original) and are dropped.
@@ -154,12 +176,30 @@ class CoordinatedProtocol final : public Protocol {
   /// Round watchdog expiry: abort the stalled round, re-initiate at the
   /// next epoch (and re-issue a possibly-lost Coord_NBS write grant).
   void on_round_timeout(std::uint32_t epoch);
+  /// Round-abort bookkeeping shared by every abort path: stats, the
+  /// ring-token floor, the invariant-observer hook and the trace event.
+  void note_round_abort(std::uint32_t epoch);
   void arm_token_watchdog();
   /// Token watchdog expiry: regenerate the stagger token toward the next
   /// expected holder if no ring progress was beaconed this period.
   void on_token_timeout(std::uint32_t epoch);
+  /// The view this message was stamped under (0 with no membership).
+  [[nodiscard]] std::uint64_t current_view() const noexcept;
+  /// Membership callback: a new view gathered its quorum — abort an
+  /// in-flight round (its acks are now unmatchable) and re-initiate it
+  /// under the new coordinator at the next epoch; advance a write grant
+  /// parked at a crashed holder.
+  void on_view_established();
+  /// Membership callback: rank `r` was fenced (true) or rejoined (false).
+  /// Fencing discards the rank's in-flight round state; its token
+  /// semaphore is deliberately left alone (an Indep_MS-style acquire may
+  /// be blocked on it).
+  void on_rank_fenced(Rank r, bool fenced);
 
   Config cfg_;
+  membership::MembershipService* membership_ = nullptr;
+  /// View the in-flight round was initiated under (0 with no membership).
+  std::uint64_t round_view_ = 0;
   std::vector<std::unique_ptr<Agent>> agents_;
   /// Ranks that acked the in-progress round (a set, not a count: lossy raw
   /// links can duplicate an ack, and a duplicate must not commit early).
@@ -177,6 +217,12 @@ class CoordinatedProtocol final : public Protocol {
   Rank token_pos_ = 0;          ///< next expected stagger-token holder
   bool token_progress_ = false; ///< a beacon arrived this watchdog period
   bool ring_done_ = true;       ///< the stagger ring completed this round
+  /// Highest aborted round epoch this incarnation. An aborted round's ring
+  /// token may still be in transit when the re-initiated round injects a
+  /// fresh one; honouring the stale token would put two tokens in the ring
+  /// (and let its writer relabel it with a live epoch), so tokens at or
+  /// below this floor are dropped on arrival instead.
+  std::uint32_t ring_abort_floor_ = 0;
   // Coord_NBS fail-fast: consecutive fruitless aborts (zero acks) with the
   // write grant stuck at the same holder indicate a lost grant-release on
   // raw links, which this scheme cannot recover without the reliable

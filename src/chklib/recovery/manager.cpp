@@ -14,6 +14,9 @@ namespace chk::chklib {
 void RecoveryManager::inject_failure_at(des::TimePoint when, Rank rank) {
   rt_->sim().schedule_at(when, [this, rank] {
     if (rt_->apps_done()) return;
+    // Timed failures are crashes like any other: with a membership service
+    // installed the victim goes silent and the cluster must detect it.
+    if (interceptor_ && interceptor_(rank)) return;
     on_failure(rank);
   });
 }
@@ -22,8 +25,23 @@ void RecoveryManager::fail_now(Rank rank) {
   if (rt_->apps_done()) return;
   if (rt_->sim().current() != nullptr) {
     // Called from a process body (e.g. off a storage write hook fired inside
-    // write_blocking). on_failure kills every application process — including,
-    // possibly, the caller — so defer one event into kernel context.
+    // write_blocking). Both the interceptor (it may kill the caller's own
+    // rank) and on_failure (it kills every application process — including,
+    // possibly, the caller) must run in kernel context, so defer one event.
+    rt_->sim().schedule_now([this, rank] {
+      if (rt_->apps_done()) return;
+      if (interceptor_ && interceptor_(rank)) return;
+      on_failure(rank);
+    });
+    return;
+  }
+  if (interceptor_ && interceptor_(rank)) return;
+  on_failure(rank);
+}
+
+void RecoveryManager::recover_now(Rank rank) {
+  if (rt_->apps_done()) return;
+  if (rt_->sim().current() != nullptr) {
     rt_->sim().schedule_now([this, rank] {
       if (rt_->apps_done()) return;
       on_failure(rank);
@@ -31,6 +49,19 @@ void RecoveryManager::fail_now(Rank rank) {
     return;
   }
   on_failure(rank);
+}
+
+void RecoveryManager::add_observer(RecoveryObserver* observer) {
+  if (observer == nullptr) return;
+  if (std::find(observers_.begin(), observers_.end(), observer) != observers_.end()) {
+    return;
+  }
+  observers_.push_back(observer);
+}
+
+void RecoveryManager::remove_observer(RecoveryObserver* observer) noexcept {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
 }
 
 void RecoveryManager::abort_active_recovery() {
@@ -110,7 +141,9 @@ void RecoveryManager::plan_and_spawn() {
   }
   report.rollback_distance.assign(rt_->num_ranks(), des::Duration());
   protocol_->prepare_recovery(report.line);
-  if (observer_ && active_->attempt == 0) observer_->on_recovery_begin(report.failed_rank);
+  if (active_->attempt == 0) {
+    for (RecoveryObserver* obs : observers_) obs->on_recovery_begin(report.failed_rank);
+  }
 
   // Restore: one loader process per rank issues the timed stable-storage
   // reads (they contend at the disk exactly like the writes did).
@@ -209,7 +242,7 @@ void RecoveryManager::plan_and_spawn() {
       }
       shared_report->rollback_distance[r] = shared_report->failed_at - restored_from;
       const std::size_t remaining = --*pending;
-      if (observer_) observer_->on_restore_progress(r, remaining);
+      for (RecoveryObserver* obs : observers_) obs->on_restore_progress(r, remaining);
       if (remaining == 0) finish_recovery(shared_report);
     });
     active_->loaders.push_back(&loader);
@@ -286,7 +319,7 @@ void RecoveryManager::finish_recovery(const std::shared_ptr<RecoveryReport>& sha
                     static_cast<std::uint16_t>(shared_report->failed_rank),
                     rt_->sim().now().to_nanos());
   }
-  if (observer_) observer_->on_recovery_end(reports_.back());
+  for (RecoveryObserver* obs : observers_) obs->on_recovery_end(reports_.back());
   CHK_INFO("recovery", "restart complete at {} (latency {})", rt_->sim().now().str(),
            shared_report->recovery_latency.str());
 }

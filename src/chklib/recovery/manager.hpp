@@ -17,8 +17,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "chklib/proto/protocol.hpp"
@@ -102,7 +104,24 @@ class RecoveryManager {
   /// originating inside a running process — e.g. triggered off a storage
   /// write hook — is deferred one event so the failure bookkeeping never
   /// unwinds the caller's own stack). No-op once the application is done.
+  /// With a failure interceptor installed, the crash is handed to it
+  /// instead of the oracle rollback below.
   void fail_now(Rank rank);
+
+  /// Trigger the whole-application rollback now, bypassing any installed
+  /// failure interceptor. The membership service calls this once detection
+  /// has run its course (eviction confirmed, rejoin grace expired); same
+  /// context-safety and no-op rules as fail_now.
+  void recover_now(Rank rank);
+
+  /// When set and returning true for a rank, fail_now hands the crash to
+  /// the interceptor (the membership service's crash model: the rank goes
+  /// silent and the cluster must *detect* it) instead of rolling back
+  /// immediately. Always invoked in kernel context.
+  using FailureInterceptor = std::function<bool(Rank)>;
+  void set_failure_interceptor(FailureInterceptor interceptor) noexcept {
+    interceptor_ = std::move(interceptor);
+  }
 
   /// A restore is in flight (loader processes still pending).
   [[nodiscard]] bool recovering() const noexcept { return active_.has_value(); }
@@ -116,7 +135,9 @@ class RecoveryManager {
     return !protocol_->recovery_line().at_origin();
   }
 
-  void set_observer(RecoveryObserver* observer) noexcept { observer_ = observer; }
+  /// Observers are notified in registration order; duplicates are ignored.
+  void add_observer(RecoveryObserver* observer);
+  void remove_observer(RecoveryObserver* observer) noexcept;
 
   [[nodiscard]] const std::vector<RecoveryReport>& reports() const noexcept { return reports_; }
 
@@ -149,7 +170,8 @@ class RecoveryManager {
 
   Runtime* rt_;
   Protocol* protocol_;
-  RecoveryObserver* observer_ = nullptr;
+  std::vector<RecoveryObserver*> observers_;
+  FailureInterceptor interceptor_;
   std::optional<ActiveRecovery> active_;
   std::vector<RecoveryReport> reports_;
 };

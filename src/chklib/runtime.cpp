@@ -72,6 +72,15 @@ void Runtime::kill_apps() {
   }
 }
 
+void Runtime::kill_app(Rank r) {
+  RankRuntime& rank = *ranks_[r];
+  if (rank.app_process != nullptr) {
+    sim_->kill(*rank.app_process);
+    rank.app_process = nullptr;
+  }
+  rank.ready = false;
+}
+
 des::RunResult Runtime::run_to_completion(std::uint64_t max_events) {
   for (;;) {
     const auto result = sim_->run(des::TimePoint::max(), max_events);

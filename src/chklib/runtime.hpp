@@ -101,6 +101,9 @@ class Runtime {
   void restart_apps();
   /// Kill all live application processes (failure handling).
   void kill_apps();
+  /// Kill one rank's application process (membership crash model: the rank
+  /// is down but the cluster has not yet detected it).
+  void kill_app(Rank r);
 
   [[nodiscard]] bool apps_done() const noexcept { return apps_started_ && finished_ == num_ranks(); }
   [[nodiscard]] des::TimePoint apps_finished_at() const noexcept { return finished_at_; }

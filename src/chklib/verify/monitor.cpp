@@ -138,9 +138,78 @@ void Monitor::on_consume(Rank dst, const Envelope& env) {
 }
 
 void Monitor::on_control_delivered(Rank dst, const ControlMsg& msg) {
-  if (!opt_.check_quiescence || msg.kind != ControlKind::kChannelMarker) return;
-  ChannelState& ch = channel(msg.src, dst);
-  ch.marker_epoch = std::max(ch.marker_epoch, msg.epoch);
+  if (opt_.check_quiescence && msg.kind == ControlKind::kChannelMarker) {
+    ChannelState& ch = channel(msg.src, dst);
+    ch.marker_epoch = std::max(ch.marker_epoch, msg.epoch);
+  }
+  if (!opt_.check_membership) return;
+  const auto n = static_cast<std::uint64_t>(rt_->num_ranks());
+  switch (msg.kind) {
+    case ControlKind::kViewChange: {
+      sink_.note_check();
+      if (msg.view % n != msg.src) {
+        sink_.report("membership", msg.src,
+                     util::format("view {} proposed by rank {} but encodes "
+                                  "coordinator {} — a view must elect its proposer",
+                                  msg.view, msg.src, msg.view % n));
+      }
+      const auto [it, inserted] = view_members_.try_emplace(msg.view, msg.members);
+      if (!inserted && it->second != msg.members) {
+        sink_.report("membership", msg.src,
+                     util::format("view {} announced with member set {:#x} after "
+                                  "{:#x} — one view id, two member sets",
+                                  msg.view, msg.members, it->second));
+      }
+      break;
+    }
+    case ControlKind::kCkptRequest: {
+      sink_.note_check();
+      if (msg.view % n != msg.src) {
+        sink_.report("membership", msg.src,
+                     util::format("round {} initiated by rank {} under view {} whose "
+                                  "coordinator is {} — two live coordinators in one "
+                                  "membership epoch",
+                                  msg.epoch, msg.src, msg.view, msg.view % n));
+      }
+      round_view_[msg.epoch] = msg.view;  // the latest (re-)initiation owns the epoch
+      break;
+    }
+    case ControlKind::kCommit: {
+      sink_.note_check();
+      if (msg.view % n != msg.src) {
+        sink_.report("membership", msg.src,
+                     util::format("epoch {} committed by rank {} under view {} whose "
+                                  "coordinator is {}",
+                                  msg.epoch, msg.src, msg.view, msg.view % n));
+      }
+      if (const auto it = round_view_.find(msg.epoch);
+          it != round_view_.end() && it->second != msg.view) {
+        sink_.report("membership", msg.src,
+                     util::format("epoch {} initiated under view {} but committed "
+                                  "under view {} — a committed round must not span "
+                                  "two membership epochs",
+                                  msg.epoch, it->second, msg.view));
+      }
+      break;
+    }
+    case ControlKind::kCkptAck: {
+      sink_.note_check();
+      // View 0 (and any view whose announcement the monitor never saw —
+      // impossible for adopted views, which are broadcast) means full
+      // membership: nothing to reject.
+      if (const auto it = view_members_.find(msg.view);
+          it != view_members_.end() && ((it->second >> msg.src) & 1u) == 0) {
+        sink_.report("membership", msg.src,
+                     util::format("rank {} acked epoch {} under view {} it is not a "
+                                  "member of — fenced ranks must not contribute to "
+                                  "a commit",
+                                  msg.src, msg.epoch, msg.view));
+      }
+      break;
+    }
+    default:
+      break;
+  }
 }
 
 void Monitor::on_incarnation_bump(std::uint32_t incarnation) {
@@ -153,6 +222,13 @@ void Monitor::on_incarnation_bump(std::uint32_t incarnation) {
   last_tx_epoch_.clear();
   // Writer processes killed mid-write never report completion.
   active_writes_.clear();
+  // Post-recovery rounds restart below the pre-crash epoch numbers; the
+  // stale-straggler and regenerated-token exemptions must not leak onto them.
+  aborted_epoch_ = 0;
+  regen_epochs_.clear();
+  // Rounds of the dead incarnation never commit; epoch numbers above the
+  // recovery line may be re-initiated (under a newer view) after restart.
+  round_view_.clear();
 }
 
 void Monitor::on_flush(Rank rank) {
@@ -189,19 +265,41 @@ void Monitor::on_restore_seq(Rank rank, const ChannelSeqState& state) {
   }
 }
 
+void Monitor::on_round_abort(std::uint32_t epoch) {
+  // Writes of the aborted round keep draining at the disk — and its stale
+  // stagger token may still start one on a rank the abort hasn't reached
+  // yet. Such stragglers legitimately overlap the re-initiated round's
+  // first writer; only serialization *within* a round is an invariant.
+  aborted_epoch_ = std::max(aborted_epoch_, epoch);
+  std::erase_if(active_writes_,
+                [epoch](const auto& kv) { return kv.second <= epoch; });
+}
+
+void Monitor::on_token_regenerated(std::uint32_t epoch) { regen_epochs_.insert(epoch); }
+
 void Monitor::on_image_write_begin(Rank rank, std::uint32_t index) {
+  const bool stale = index <= aborted_epoch_;  // a dead round's straggler
   if (opt_.check_stagger) {
     sink_.note_check();
-    if (!active_writes_.empty()) {
-      const auto& [other_rank, other_index] = *active_writes_.begin();
-      sink_.report("stagger", rank,
-                   util::format("rank {} started writing checkpoint image {} while rank "
-                                "{} is still writing image {} — staggered schemes must "
-                                "serialize stable-storage writes",
-                                rank, index, other_rank, other_index));
+    // The stagger token admits one writer per ring epoch at a time. A
+    // *previous* round's ring may still be draining when the next round
+    // starts (buffered schemes commit on capture, not on durability), so
+    // only a same-epoch concurrent writer is a protocol violation.
+    // ... unless this epoch's token was regenerated: a merely-delayed
+    // original means two tokens briefly share the ring, by design.
+    if (!stale && !regen_epochs_.contains(index)) {
+      for (const auto& [other_rank, other_index] : active_writes_) {
+        if (other_index != index) continue;
+        sink_.report("stagger", rank,
+                     util::format("rank {} started writing checkpoint image {} while "
+                                  "rank {} is still writing the same image — the "
+                                  "stagger token admits one writer per round",
+                                  rank, index, other_rank));
+        break;
+      }
     }
   }
-  active_writes_[rank] = index;
+  if (!stale) active_writes_[rank] = index;
 }
 
 void Monitor::on_image_write_end(Rank rank, std::uint32_t index) {

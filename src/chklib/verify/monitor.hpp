@@ -19,7 +19,16 @@
 //   consume     no message is consumed twice (mirrors the restored
 //               ChannelSeqState across rollbacks);
 //   stagger     staggered schemes: at most one rank is writing a
-//               checkpoint image to stable storage at any instant.
+//               checkpoint image to stable storage at any instant;
+//   membership  with the cluster-membership service attached: a view id
+//               always identifies its proposer (view % N == src, so there
+//               is at most one live coordinator per membership epoch), the
+//               same view id never announces two different member sets,
+//               rounds are initiated and committed by their view's
+//               coordinator under the *same* view (no committed round
+//               spans two membership epochs), and no rank outside a view's
+//               member set contributes an ack toward its commits (fenced
+//               ranks never corrupt a commit).
 //
 // The monitor is passive: it allocates only host memory and never touches
 // simulated time, so an instrumented run is bit-identical to a bare one.
@@ -54,6 +63,9 @@ class Monitor final : public InvariantObserver {
     /// simulation stops the instant the last rank finishes, which can
     /// legitimately leave regenerated duplicates in flight).
     bool strict_final_inflight = false;
+    /// Membership-safety checks (see header comment). Off by default; the
+    /// harness arms it when the membership service is attached.
+    bool check_membership = false;
     /// The raw links below the monitor drop / duplicate / reorder frames
     /// and no reliable transport repairs them (link faults on, transport
     /// off). Arrival-replay, quiescence, consume and stagger checks assume
@@ -93,6 +105,8 @@ class Monitor final : public InvariantObserver {
   void on_incarnation_bump(std::uint32_t incarnation) override;
   void on_flush(Rank rank) override;
   void on_restore_seq(Rank rank, const ChannelSeqState& state) override;
+  void on_round_abort(std::uint32_t epoch) override;
+  void on_token_regenerated(std::uint32_t epoch) override;
   void on_image_write_begin(Rank rank, std::uint32_t index) override;
   void on_image_write_end(Rank rank, std::uint32_t index) override;
 
@@ -129,6 +143,12 @@ class Monitor final : public InvariantObserver {
   std::map<ChannelKey, ConsumeState> consumed_;   // (dst, src) keyed
   std::map<Rank, std::uint32_t> last_tx_epoch_;   // epoch monotonicity per sender
   std::map<Rank, std::uint32_t> active_writes_;   // rank -> image index being written
+  std::uint32_t aborted_epoch_ = 0;  // stagger: stragglers at/below this are exempt
+  std::set<std::uint32_t> regen_epochs_;  // epochs whose ring token was re-issued
+  // Membership checks: what each announced view claimed, and the view each
+  // round (epoch) was last initiated under.
+  std::map<std::uint64_t, std::uint64_t> view_members_;
+  std::map<std::uint32_t, std::uint64_t> round_view_;
 };
 
 }  // namespace chk::chklib::verify

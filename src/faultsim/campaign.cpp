@@ -16,7 +16,12 @@ RunOutcome run_one(const CampaignConfig& config, std::uint32_t run_index) {
   plan.stream = config.campaign_seed + run_index;
   plan.ensure_midwrite = config.ensure_midwrite;
   plan.ensure_during_recovery = config.ensure_during_recovery;
+  plan.target_coordinator = config.target_coordinator;
   experiment.faults = plan;
+  if (config.membership.has_value()) {
+    experiment.membership = config.membership;
+    experiment.membership->stream = config.campaign_seed + run_index;
+  }
   if (config.link_faults.has_value()) {
     experiment.link_faults = config.link_faults;
     experiment.link_faults->stream = config.campaign_seed + run_index;
@@ -69,6 +74,10 @@ RunOutcome run_one(const CampaignConfig& config, std::uint32_t run_index) {
   outcome.corrupt_discarded = result.corrupt_discarded;
   outcome.generations_skipped = result.generations_skipped;
   outcome.reclaimed_bytes = result.reclaimed_bytes;
+  outcome.views_established = result.views_established;
+  outcome.evictions = result.evictions;
+  outcome.wrongful_evictions = result.wrongful_evictions;
+  outcome.rejoins = result.rejoins;
   return outcome;
 }
 
@@ -136,6 +145,10 @@ obs::json::Value outcome_to_json(const RunOutcome& o) {
   v.set("corrupt_discarded", Value::number(o.corrupt_discarded));
   v.set("generations_skipped", Value::number(std::uint64_t{o.generations_skipped}));
   v.set("reclaimed_bytes", Value::number(o.reclaimed_bytes));
+  v.set("views_established", Value::number(o.views_established));
+  v.set("evictions", Value::number(o.evictions));
+  v.set("wrongful_evictions", Value::number(o.wrongful_evictions));
+  v.set("rejoins", Value::number(o.rejoins));
   return v;
 }
 

@@ -43,6 +43,14 @@ struct CampaignConfig {
   /// its own forked stream). Run i forks the storage-fault stream by
   /// campaign_seed + i, mirroring the link-fault discipline.
   std::optional<xplorer::StorageFaultConfig> storage_faults;
+  /// Cluster-membership service during the campaign runs: failures route
+  /// through heartbeat detection + coordinator election instead of the
+  /// oracle. Run i forks the membership stream by campaign_seed + i so
+  /// heartbeat phases vary per run but reproduce exactly.
+  std::optional<chklib::membership::MembershipConfig> membership;
+  /// With membership on: aim every injected strike at the current (elected)
+  /// coordinator instead of a uniform victim.
+  bool target_coordinator = false;
   /// Checkpoint retention depth forwarded to the experiment (0 = auto).
   std::uint32_t keep_depth = 0;
   /// Failure-free result digest to verify each run against (any failure
@@ -83,6 +91,11 @@ struct RunOutcome {
   std::uint64_t corrupt_discarded = 0;
   std::uint32_t generations_skipped = 0;  ///< recovery fallbacks to an older generation
   std::uint64_t reclaimed_bytes = 0;
+  // Cluster-membership activity (zero when the campaign has no membership).
+  std::uint64_t views_established = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t wrongful_evictions = 0;
+  std::uint64_t rejoins = 0;
 };
 
 struct CampaignSummary {

@@ -34,12 +34,12 @@ FaultInjector::FaultInjector(chklib::Runtime& runtime, chklib::RecoveryManager& 
 FaultInjector::~FaultInjector() {
   // Detach the hooks: the runtime may outlive the injector.
   rt_->store().storage().set_write_hook(nullptr);
-  recovery_->set_observer(nullptr);
+  recovery_->remove_observer(this);
 }
 
 void FaultInjector::arm() {
   if (plan_.max_failures == 0) return;
-  recovery_->set_observer(this);
+  recovery_->add_observer(this);
   if (plan_.ensure_midwrite) {
     rt_->store().storage().set_write_hook(
         [this](chklib::Rank from, const std::string& key, std::size_t bytes) {

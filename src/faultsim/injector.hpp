@@ -46,6 +46,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "chklib/recovery/manager.hpp"
 #include "chklib/runtime.hpp"
@@ -63,6 +65,11 @@ struct FaultPlan {
   std::uint64_t stream = 0;
   bool ensure_midwrite = false;
   bool ensure_during_recovery = false;
+  /// Redirect every strike at the current coordinator (membership runs:
+  /// coordinator death mid-round is the interesting election scenario). The
+  /// victim draw still happens — the stream consumption per arrival stays
+  /// fixed — but the drawn rank is overridden by the coordinator provider.
+  bool target_coordinator = false;
   /// Where inside the write's uncontended service time the targeted
   /// mid-write strike lands (0, 1); the observed write takes at least that
   /// long, so the strike is guaranteed to catch the write in flight.
@@ -86,6 +93,13 @@ class FaultInjector final : public chklib::RecoveryObserver {
   /// Install the hooks and schedule the first Poisson arrival. Call once,
   /// before Runtime::run_to_completion.
   void arm();
+
+  /// Who the coordinator is *right now* (queried at strike-scheduling time,
+  /// so an elected successor becomes the next target). Required when
+  /// plan.target_coordinator is set; ignored otherwise.
+  void set_coordinator_provider(std::function<chklib::Rank()> provider) noexcept {
+    coordinator_provider_ = std::move(provider);
+  }
 
   [[nodiscard]] const InjectionStats& stats() const noexcept { return stats_; }
 
@@ -115,13 +129,18 @@ class FaultInjector final : public chklib::RecoveryObserver {
     return stats_.injected + reserved() >= plan_.max_failures;
   }
   [[nodiscard]] chklib::Rank draw_victim() noexcept {
-    return static_cast<chklib::Rank>(rng_.uniform_u64(rt_->num_ranks()));
+    // Always consume the draw (schedule-independent stream), then apply the
+    // coordinator override if configured.
+    const auto drawn = static_cast<chklib::Rank>(rng_.uniform_u64(rt_->num_ranks()));
+    if (plan_.target_coordinator && coordinator_provider_) return coordinator_provider_();
+    return drawn;
   }
 
   chklib::Runtime* rt_;
   chklib::RecoveryManager* recovery_;
   FaultPlan plan_;
   util::Rng rng_;
+  std::function<chklib::Rank()> coordinator_provider_;
   InjectionStats stats_;
   bool midwrite_armed_ = false;  ///< a targeted mid-write strike is scheduled
   bool midwrite_done_ = false;   ///< a strike landed mid-write; stop targeting

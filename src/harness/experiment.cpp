@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <memory>
+#include <stdexcept>
 
 #include "chklib/proto/coordinated.hpp"
 #include "chklib/proto/independent.hpp"
@@ -45,6 +46,7 @@ obs::MetricsSnapshot build_metrics(const ExperimentResult& result, const ObsData
   reg.gauge("attrib/retransmit_wait_s").set(total.retransmit_wait_s);
   reg.gauge("attrib/storage_retry_wait_s").set(total.storage_retry_wait_s);
   reg.gauge("attrib/svc_queue_wait_s").set(total.svc_queue_wait_s);
+  reg.gauge("attrib/membership_wait_s").set(total.membership_wait_s);
   reg.gauge("attrib/total_s").set(total.total_s());
 
   // Transport / link-fault counters (all zero with faults off).
@@ -57,6 +59,17 @@ obs::MetricsSnapshot build_metrics(const ExperimentResult& result, const ObsData
   reg.counter("comm/link_delayed").set(result.link_delayed);
   reg.counter("ckpt/aborted_rounds").set(result.aborted_rounds);
   reg.counter("ckpt/tokens_regenerated").set(result.tokens_regenerated);
+  reg.counter("comm/partition_drops").set(result.partition_drops);
+
+  // Cluster-membership counters (all zero with the membership service off).
+  reg.counter("membership/heartbeats_sent").set(result.heartbeats_sent);
+  reg.counter("membership/suspicions").set(result.suspicions);
+  reg.counter("membership/views_established").set(result.views_established);
+  reg.counter("membership/evictions").set(result.evictions);
+  reg.counter("membership/wrongful_evictions").set(result.wrongful_evictions);
+  reg.counter("membership/rejoins").set(result.rejoins);
+  reg.counter("membership/crashes").set(result.membership_crashes);
+  reg.counter("membership/forced_recoveries").set(result.forced_recoveries);
 
   // Stable-storage fault counters (all zero with storage faults off).
   reg.counter("storage/io_write_errors").set(result.io_write_errors);
@@ -115,6 +128,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // Unreliable links + reliable transport. Configured before the protocol
   // exists so its control traffic rides the transport from the first send.
   const bool lossy_links = config.link_faults.has_value() && config.link_faults->enabled();
+  const bool membership_on = config.membership.has_value();
+  if (membership_on && lossy_links && !config.reliable_transport) {
+    throw std::invalid_argument(
+        "membership requires the reliable transport under link faults: raw "
+        "lossy links turn every detection timeout into a coin flip");
+  }
   if (lossy_links) {
     runtime.comm().set_link_faults(
         *config.link_faults,
@@ -141,8 +160,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // Watchdogs: off by default (arming the timers perturbs fault-free event
   // sequencing); auto-armed whenever the links can actually lose messages —
   // or the storage can fail a commit write, which aborts rounds through the
-  // same re-initiation path.
-  const bool needs_watchdog = lossy_links || faulty_storage;
+  // same re-initiation path — or the membership service can crash / fence
+  // ranks mid-round, which strands acks the same way.
+  const bool needs_watchdog = lossy_links || faulty_storage || membership_on;
   des::Duration round_timeout = config.round_timeout;
   des::Duration token_timeout = config.token_timeout;
   if (needs_watchdog && round_timeout.to_nanos() == 0) {
@@ -184,22 +204,51 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.verify) {
     auto options = chklib::verify::Monitor::options_for(config.scheme);
     options.lossy_raw_links = lossy_links && !config.reliable_transport;
+    options.check_membership = membership_on;
     monitor = std::make_unique<chklib::verify::Monitor>(runtime, options);
     monitor->install();
   }
 
   std::unique_ptr<chklib::RecoveryManager> recovery;
   std::unique_ptr<faultsim::FaultInjector> injector;
+  std::unique_ptr<chklib::membership::MembershipService> membership;
   if (protocol) {
-    protocol->start();
-    if (config.failure.has_value() || config.faults.has_value()) {
+    if (membership_on) {
+      // The service intercepts failures (so they route through detection +
+      // election instead of the oracle) and must be attached before the
+      // protocol starts; its RNG stream (tag 0xBEA7) is forked independently
+      // of every other fault domain, so detection phases compose seed-stably.
       recovery = std::make_unique<chklib::RecoveryManager>(runtime, *protocol);
+      membership = std::make_unique<chklib::membership::MembershipService>(
+          runtime, *recovery, *config.membership,
+          runtime.fork_rng(0xBEA7u).fork(config.membership->stream));
+      if (is_coordinated(config.scheme)) {
+        static_cast<chklib::CoordinatedProtocol&>(*protocol).set_membership(
+            membership.get());
+      }
+    }
+    protocol->start();
+    if (membership) membership->start();
+    if (recovery == nullptr &&
+        (config.failure.has_value() || config.faults.has_value())) {
+      recovery = std::make_unique<chklib::RecoveryManager>(runtime, *protocol);
+    }
+    if (recovery) {
       if (config.failure.has_value()) {
         recovery->inject_failure_at(config.failure->when, config.failure->rank);
       }
       if (config.faults.has_value()) {
         injector = std::make_unique<faultsim::FaultInjector>(runtime, *recovery,
                                                              *config.faults);
+        if (config.faults->target_coordinator) {
+          if (!membership || !is_coordinated(config.scheme)) {
+            throw std::invalid_argument(
+                "faults.target_coordinator needs the membership service on a "
+                "coordinated scheme — there is no elected coordinator to aim at");
+          }
+          injector->set_coordinator_provider(
+              [service = membership.get()] { return service->coordinator(); });
+        }
         injector->arm();
       }
     }
@@ -214,6 +263,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.exec_time_s = runtime.apps_finished_at().to_seconds();
   result.events = sim.events_executed();
   result.trace_hash = sim.trace_hash();
+  if (membership) membership->finalize();  // closes still-open exclusion spans
   if (monitor) {
     monitor->finalize();
     result.invariant_checks = monitor->checks();
@@ -245,6 +295,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.link_duplicates = runtime.comm().link_duplicates();
   result.link_corrupted = runtime.comm().link_corrupted();
   result.link_delayed = runtime.comm().link_delayed();
+  result.partition_drops = runtime.comm().partition_drops();
+
+  if (membership) {
+    const auto& ms = membership->stats();
+    result.heartbeats_sent = ms.heartbeats_sent;
+    result.suspicions = ms.suspicions;
+    result.views_established = ms.views_established;
+    result.evictions = ms.evictions;
+    result.wrongful_evictions = ms.wrongful_evictions;
+    result.rejoins = ms.rejoins;
+    result.membership_crashes = ms.crashes;
+    result.forced_recoveries = ms.forced_recoveries;
+  }
 
   if (protocol) {
     const auto& stats = protocol->stats();
@@ -303,6 +366,7 @@ ExperimentResult run_normal(ExperimentConfig config) {
   config.failure.reset();
   config.faults.reset();
   config.link_faults.reset();  // baselines measure the fault-free machine
+  config.membership.reset();
   return run_experiment(config);
 }
 

@@ -9,6 +9,7 @@
 
 #include "chklib/ckpt/storage_client.hpp"
 #include "chklib/comm/link_fault.hpp"
+#include "chklib/membership/service.hpp"
 #include "chklib/proto/protocol.hpp"
 #include "chklib/proto/scheme.hpp"
 #include "chklib/recovery/line.hpp"
@@ -66,6 +67,14 @@ struct ExperimentConfig {
   /// this off exposes the protocols to raw loss — only the round/token
   /// watchdogs stand between them and a hang. Ignored without link faults.
   bool reliable_transport = true;
+  /// Cluster-membership service: heartbeat failure detection, quorum view
+  /// changes, deterministic coordinator election and fencing. Opt-in —
+  /// unset, runs are bit-identical to pre-membership builds. When set,
+  /// crashes go through the detector (eviction + elected recovery) instead
+  /// of the oracle path, and coordinated schemes survive coordinator death
+  /// mid-round. Requires the reliable transport when link faults are on
+  /// (heartbeats over raw lossy links make every timeout a coin flip).
+  std::optional<chklib::membership::MembershipConfig> membership;
   /// Unreliable stable storage: per-operation transient write/read I/O
   /// errors, timed degraded-throughput windows, and silent bit-rot of
   /// durable images. Unset (or all-inactive) = perfect storage,
@@ -156,6 +165,17 @@ struct ExperimentResult {
   std::uint64_t link_delayed = 0;      ///< frames given extra delay
   std::uint32_t aborted_rounds = 0;    ///< rounds the coordinator watchdog re-initiated
   std::uint32_t tokens_regenerated = 0;  ///< stagger tokens re-issued by the watchdog
+  std::uint64_t partition_drops = 0;   ///< frames destroyed by a partition window
+
+  // cluster membership (all zero with the membership service off)
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t suspicions = 0;          ///< detector timeouts (incl. false ones)
+  std::uint64_t views_established = 0;   ///< view changes that took effect
+  std::uint64_t evictions = 0;           ///< ranks removed from a view
+  std::uint64_t wrongful_evictions = 0;  ///< live ranks evicted (then fenced)
+  std::uint64_t rejoins = 0;             ///< fenced ranks re-admitted
+  std::uint64_t membership_crashes = 0;  ///< failures routed through the detector
+  std::uint64_t forced_recoveries = 0;   ///< dead ranks recovered by the deadman timer
 
   // unreliable stable storage (all zero with storage faults off)
   std::uint64_t io_write_errors = 0;      ///< write attempts the fault model failed

@@ -19,6 +19,7 @@ struct NsBuckets {
   std::int64_t retransmit_wait = 0;
   std::int64_t retry_wait = 0;
   std::int64_t svc_queue_wait = 0;
+  std::int64_t membership_wait = 0;
 };
 
 constexpr double to_s(std::int64_t ns) noexcept { return static_cast<double>(ns) * 1e-9; }
@@ -65,6 +66,9 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
       case EventKind::kSvcQueueWait:
         b.svc_queue_wait += e.dur_ns;
         break;
+      case EventKind::kMembershipWait:
+        b.membership_wait += e.dur_ns;
+        break;
       case EventKind::kInterference:
         b.interference += static_cast<std::int64_t>(e.aux);
         break;
@@ -93,6 +97,7 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
     out.retransmit_wait_s = to_s(b.retransmit_wait);
     out.storage_retry_wait_s = to_s(b.retry_wait);
     out.svc_queue_wait_s = to_s(b.svc_queue_wait);
+    out.membership_wait_s = to_s(b.membership_wait);
     out.blocked_total_s = to_s(b.window);
 
     report.total.sync_wait_s += out.sync_wait_s;
@@ -106,6 +111,7 @@ AttributionReport attribute(const Trace& trace, std::size_t num_ranks) {
     report.total.retransmit_wait_s += out.retransmit_wait_s;
     report.total.storage_retry_wait_s += out.storage_retry_wait_s;
     report.total.svc_queue_wait_s += out.svc_queue_wait_s;
+    report.total.membership_wait_s += out.membership_wait_s;
     report.total.blocked_total_s += out.blocked_total_s;
   }
   return report;

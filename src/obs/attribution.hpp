@@ -54,6 +54,13 @@ struct RankBuckets {
   /// or recovery wall-clock on the same rank — so it sits outside the
   /// blocked windows and is added symmetrically to both sums below.
   double svc_queue_wait_s = 0;
+  /// Time this rank spent excluded from the membership view: crashed and
+  /// awaiting detection/recovery, or live but wrongly evicted (fenced)
+  /// until rejoin (zero with the detector off). Wall-clock exclusion, not
+  /// rank CPU time — it may overlap recovery or frozen_stall on the same
+  /// rank — so like svc_queue_wait it sits outside the blocked windows and
+  /// is added symmetrically to both sums below.
+  double membership_wait_s = 0;
   /// Sum of this rank's checkpoint blocking windows (== the protocol's
   /// app_blocked share; the first five buckets partition it exactly).
   double blocked_total_s = 0;
@@ -61,11 +68,12 @@ struct RankBuckets {
   [[nodiscard]] double bucket_sum_s() const noexcept {
     return sync_wait_s + mem_copy_s + stable_write_s + storage_contention_s +
            logging_s + frozen_stall_s + interference_s + recovery_s +
-           retransmit_wait_s + storage_retry_wait_s + svc_queue_wait_s;
+           retransmit_wait_s + storage_retry_wait_s + svc_queue_wait_s +
+           membership_wait_s;
   }
   [[nodiscard]] double total_s() const noexcept {
     return blocked_total_s + frozen_stall_s + interference_s + recovery_s +
-           retransmit_wait_s + svc_queue_wait_s;
+           retransmit_wait_s + svc_queue_wait_s + membership_wait_s;
   }
 };
 

@@ -39,6 +39,7 @@ enum class EventKind : std::uint16_t {
   kRetransmitWait,   ///< transport reorder gap: waiting on a retransmit
   kStorageRetryWait, ///< backoff sleep between storage retry attempts; arg = context
   kSvcQueueWait,     ///< svc request queue wait: scheduled arrival -> service start
+  kMembershipWait,   ///< rank excluded from the membership view (crashed or fenced)
   // ---- instants (dur_ns == 0) ---------------------------------------------
   kMsgSend,          ///< application send; aux = payload bytes, arg = dst
   kControlSend,      ///< protocol control message; arg = dst
@@ -73,6 +74,7 @@ enum class EventKind : std::uint16_t {
     case EventKind::kRetransmitWait: return "retransmit_wait";
     case EventKind::kStorageRetryWait: return "storage_retry_wait";
     case EventKind::kSvcQueueWait: return "svc_queue_wait";
+    case EventKind::kMembershipWait: return "membership_wait";
     case EventKind::kMsgSend: return "msg_send";
     case EventKind::kControlSend: return "control_send";
     case EventKind::kRoundBegin: return "round_begin";

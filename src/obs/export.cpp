@@ -126,6 +126,7 @@ json::Value buckets_to_json(const RankBuckets& b) {
   v.set("retransmit_wait_s", json::Value::number(b.retransmit_wait_s));
   v.set("storage_retry_wait_s", json::Value::number(b.storage_retry_wait_s));
   v.set("svc_queue_wait_s", json::Value::number(b.svc_queue_wait_s));
+  v.set("membership_wait_s", json::Value::number(b.membership_wait_s));
   v.set("blocked_total_s", json::Value::number(b.blocked_total_s));
   v.set("total_s", json::Value::number(b.total_s()));
   return v;

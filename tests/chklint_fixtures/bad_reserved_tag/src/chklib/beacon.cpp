@@ -1,0 +1,13 @@
+// Fixture: positive control for the reserved fault-domain tag registry.
+// 0xBEA7 is the membership detector's stream tag, owned by
+// harness/experiment.cpp — forking it from anywhere else correlates the
+// new stream with the detector's timer phases. There is no second site in
+// this tree, so the plain collision check stays silent; only the registry
+// catches the reuse.
+#include "rng_stub.hpp"
+
+namespace fixture {
+
+util::Rng beacon_stream(util::Rng& parent) { return parent.fork(0xBEA7u); }
+
+}  // namespace fixture

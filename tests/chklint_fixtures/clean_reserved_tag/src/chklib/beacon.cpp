@@ -1,0 +1,10 @@
+// Fixture: negative control for the reserved fault-domain tag registry.
+// Same shape as bad_reserved_tag, but the stream uses a fresh tag nowhere
+// near the reserved set — the run must come back clean.
+#include "rng_stub.hpp"
+
+namespace fixture {
+
+util::Rng beacon_stream(util::Rng& parent) { return parent.fork(0xC1EAu); }
+
+}  // namespace fixture

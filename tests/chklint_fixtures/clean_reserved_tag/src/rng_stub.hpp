@@ -1,0 +1,12 @@
+// Minimal stand-ins so the fixture reads like real code (chklint never
+// compiles fixtures; only the token stream matters).
+#pragma once
+#include <cstdint>
+
+namespace fixture {
+namespace util {
+struct Rng {
+  Rng fork(std::uint64_t tag);
+};
+}  // namespace util
+}  // namespace fixture

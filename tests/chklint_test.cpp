@@ -79,6 +79,25 @@ TEST(ChklintRules, UniqueForkTagsFiresOnCollisionAndNonLiteral) {
   EXPECT_NE(r.output.find("non-literal Rng::fork tag"), std::string::npos) << r.output;
 }
 
+TEST(ChklintRules, ReservedFaultDomainTagFiresOutsideOwner) {
+  // 0xBEA7 (membership detector phases) forked outside its owning file is
+  // a finding even with no second site to collide with.
+  const RunResult r = run_chklint(fixture("bad_reserved_tag"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("unique-fork-tags"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("0xBEA7"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("membership detector phases"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("harness/experiment.cpp"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(ChklintRules, FreshTagNearReservedSetIsClean) {
+  // The negative control: same code shape, fresh tag — silent.
+  const RunResult r = run_chklint(fixture("clean_reserved_tag"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
 TEST(ChklintRules, OneDoorStorageFires) {
   const RunResult r = run_chklint(fixture("bad_one_door"));
   EXPECT_EQ(r.exit_code, 1) << r.output;

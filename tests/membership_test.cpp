@@ -1,0 +1,247 @@
+// Tests for the cluster-membership service: heartbeat failure detection,
+// quorum-tracked views, deterministic coordinator election and fencing.
+//
+//   * config validation: nonsense timeouts/quorums are rejected;
+//   * zero-overhead when off is covered by the transport determinism guard
+//     (no membership config => bit-identical pre-membership traces);
+//   * clean links: heartbeats flow, nobody is suspected, the answer and
+//     the invariants are untouched;
+//   * false-suspicion storm (the headline regime): an aggressive detection
+//     timeout under 20% link loss plus periodic partitions of a live rank
+//     wrongly evicts it — the rank is fenced, not rolled back, rejoins
+//     after the partition heals, and every scheme still produces the
+//     loss-free digest;
+//   * coordinator death mid-round: the elected coordinator is killed while
+//     a checkpoint round is in flight; the cluster detects the death,
+//     elects a successor (view % N), recovers, and completes — including
+//     the NBMS stagger-token handoff;
+//   * wiring guards: coordinator-targeted strikes without a membership
+//     service, and membership over raw lossy links, are configuration
+//     errors.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "apps/sor.hpp"
+#include "chklib/comm/link_fault.hpp"
+#include "chklib/membership/service.hpp"
+#include "des/simulator.hpp"
+#include "faultsim/injector.hpp"
+#include "harness/experiment.hpp"
+
+namespace chk {
+namespace {
+
+using chklib::LinkFaultConfig;
+using chklib::Scheme;
+using chklib::membership::MembershipConfig;
+using des::Duration;
+
+// ---------------------------------------------------------------------------
+// Config validation.
+// ---------------------------------------------------------------------------
+
+TEST(MembershipConfig, DefaultsValidate) {
+  MembershipConfig config;
+  EXPECT_NO_THROW(config.validate(8));
+  EXPECT_NO_THROW(config.validate(64));
+}
+
+TEST(MembershipConfig, RejectsNonsense) {
+  MembershipConfig config;
+  EXPECT_THROW(config.validate(0), std::invalid_argument);
+  EXPECT_THROW(config.validate(65), std::invalid_argument);  // 64-bit bitmap
+
+  config = MembershipConfig{};
+  config.hb_period = Duration::zero();
+  EXPECT_THROW(config.validate(8), std::invalid_argument);
+
+  config = MembershipConfig{};
+  config.detect_timeout = config.hb_period;  // <= hb_period can never settle
+  EXPECT_THROW(config.validate(8), std::invalid_argument);
+
+  config = MembershipConfig{};
+  config.rejoin_grace = Duration::seconds(-1);
+  EXPECT_THROW(config.validate(8), std::invalid_argument);
+
+  config = MembershipConfig{};
+  config.suspect_quorum = 0;
+  EXPECT_THROW(config.validate(8), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixtures.
+// ---------------------------------------------------------------------------
+
+harness::ExperimentConfig membership_sor(Scheme scheme) {
+  harness::ExperimentConfig config;
+  config.label = "SOR";
+  config.app = apps::make_sor({.n = 96, .iterations = 80});
+  config.scheme = scheme;
+  config.machine.num_nodes = 8;
+  config.interval = Duration::millis(200);
+  config.checkpoints = 0;  // keep checkpointing while the run lasts
+  config.verify = true;
+  return config;
+}
+
+// The false-suspicion storm: an aggressive 600 ms detection timeout under
+// 20% loss, with rank 3 periodically cut off for longer than the timeout.
+// The partition windows are deterministic (no RNG draws), so every run of
+// this config wrongly evicts the same live rank.
+harness::ExperimentConfig storm_config(Scheme scheme) {
+  auto config = membership_sor(scheme);
+  LinkFaultConfig faults;
+  faults.drop = 0.2;
+  faults.duplicate = 0.1;
+  faults.corrupt = 0.05;
+  faults.partition_rank = 3;
+  faults.partition_period_s = 6.0;
+  faults.partition_duration_s = 1.5;
+  config.link_faults = faults;
+  MembershipConfig membership;
+  membership.hb_period = Duration::millis(250);
+  membership.detect_timeout = Duration::millis(600);
+  config.membership = membership;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Clean links: detection never fires, the run is untouched.
+// ---------------------------------------------------------------------------
+
+TEST(Membership, CleanLinksNoFalseSuspicions) {
+  auto config = membership_sor(Scheme::kCoordNBM);
+  const auto normal = harness::run_normal(config);
+  ASSERT_TRUE(normal.digest.has_value());
+
+  config.membership = MembershipConfig{};  // default 2 s timeout
+  const auto result = harness::run_experiment(config);
+  EXPECT_GT(result.heartbeats_sent, 0u);
+  EXPECT_EQ(result.suspicions, 0u);
+  EXPECT_EQ(result.views_established, 0u);
+  EXPECT_EQ(result.evictions, 0u);
+  EXPECT_EQ(result.membership_crashes, 0u);
+  EXPECT_EQ(result.digest, normal.digest);
+  EXPECT_EQ(result.invariant_violations, 0u);
+  EXPECT_GT(result.invariant_checks, 0u);
+}
+
+TEST(Membership, MembershipRunsAreDeterministic) {
+  const auto report = harness::check_determinism(storm_config(Scheme::kCoordNB));
+  EXPECT_TRUE(report.deterministic);
+  EXPECT_GT(report.first.heartbeats_sent, 0u);
+  EXPECT_GT(report.first.suspicions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The false-suspicion storm.
+// ---------------------------------------------------------------------------
+
+TEST(Membership, FalseSuspicionStormFencesAndRejoinsEveryScheme) {
+  const Scheme schemes[] = {Scheme::kCoordNB, Scheme::kCoordNBM,
+                            Scheme::kCoordNBMS, Scheme::kIndep, Scheme::kIndepM};
+  auto baseline = membership_sor(Scheme::kNone);
+  const auto normal = harness::run_normal(baseline);
+  ASSERT_TRUE(normal.digest.has_value());
+
+  for (Scheme scheme : schemes) {
+    const auto config = storm_config(scheme);
+    const auto result = harness::run_experiment(config);
+    const std::string what = std::string(to_string(scheme));
+
+    // The partition starved rank 3's heartbeats past the timeout: it was
+    // suspected, evicted by an established view, and — being alive —
+    // fenced rather than rolled back, then re-admitted after the heal.
+    EXPECT_GT(result.partition_drops, 0u) << what;
+    EXPECT_GT(result.suspicions, 0u) << what;
+    EXPECT_GE(result.views_established, 2u) << what;  // eviction + rejoin
+    EXPECT_GE(result.evictions, 1u) << what;
+    EXPECT_GE(result.wrongful_evictions, 1u) << what;
+    EXPECT_GE(result.rejoins, 1u) << what;
+
+    // Nobody actually died: no crash was absorbed, no rollback ran.
+    EXPECT_EQ(result.membership_crashes, 0u) << what;
+    EXPECT_EQ(result.forced_recoveries, 0u) << what;
+    EXPECT_TRUE(result.recoveries.empty()) << what;
+
+    // Fencing is safe: the answer and the invariants survive the storm.
+    EXPECT_EQ(result.digest, normal.digest) << what;
+    EXPECT_EQ(result.invariant_violations, 0u) << what;
+    EXPECT_GT(result.invariant_checks, 0u) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator death mid-round: detection, election, recovery, completion.
+// ---------------------------------------------------------------------------
+
+TEST(Membership, CoordinatorDeathMidRoundElectsSuccessor) {
+  // Rank 0 is the initial coordinator (view 0, coordinator = view % N).
+  // Killing it mid-run forces the full path: silence -> suspicion ->
+  // quorum -> view change (electing rank 1) -> crash-eviction recovery.
+  // kCoordNBMS doubles as the stagger-token handoff test: the ring token
+  // may be at the dead coordinator, and the run must still complete.
+  const Scheme schemes[] = {Scheme::kCoordNB, Scheme::kCoordNBS,
+                            Scheme::kCoordNBMS};
+  auto baseline = membership_sor(Scheme::kNone);
+  const auto normal = harness::run_normal(baseline);
+  ASSERT_TRUE(normal.digest.has_value());
+
+  for (Scheme scheme : schemes) {
+    auto config = membership_sor(scheme);
+    MembershipConfig membership;
+    membership.detect_timeout = Duration::millis(600);
+    config.membership = membership;
+    config.failure = harness::FailureSpec{
+        des::TimePoint::origin() + Duration::seconds(normal.exec_time_s * 0.5), 0};
+    const auto result = harness::run_experiment(config);
+    const std::string what = std::string(to_string(scheme));
+
+    EXPECT_EQ(result.membership_crashes, 1u) << what;
+    EXPECT_GE(result.views_established, 1u) << what;
+    EXPECT_GE(result.evictions, 1u) << what;
+    EXPECT_EQ(result.wrongful_evictions, 0u) << what;  // rank 0 really died
+    // Detection beat the deadman fallback: the eviction started recovery.
+    EXPECT_EQ(result.forced_recoveries, 0u) << what;
+    ASSERT_GE(result.recoveries.size(), 1u) << what;
+
+    EXPECT_EQ(result.digest, normal.digest) << what;
+    EXPECT_GT(result.committed_rounds, 0u) << what;
+    EXPECT_EQ(result.invariant_violations, 0u) << what;
+    EXPECT_GT(result.exec_time_s, normal.exec_time_s) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wiring guards.
+// ---------------------------------------------------------------------------
+
+TEST(Membership, TargetCoordinatorRequiresMembership) {
+  auto config = membership_sor(Scheme::kCoordNB);
+  faultsim::FaultPlan plan;
+  plan.max_failures = 1;
+  plan.target_coordinator = true;
+  config.faults = plan;
+  EXPECT_THROW((void)harness::run_experiment(config), std::invalid_argument);
+}
+
+TEST(Membership, TargetCoordinatorRequiresCoordinatedScheme) {
+  auto config = membership_sor(Scheme::kIndep);
+  config.membership = MembershipConfig{};
+  faultsim::FaultPlan plan;
+  plan.max_failures = 1;
+  plan.target_coordinator = true;
+  config.faults = plan;
+  EXPECT_THROW((void)harness::run_experiment(config), std::invalid_argument);
+}
+
+TEST(Membership, MembershipOverRawLossyLinksIsRejected) {
+  auto config = storm_config(Scheme::kCoordNB);
+  config.reliable_transport = false;
+  EXPECT_THROW((void)harness::run_experiment(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chk

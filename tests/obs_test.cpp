@@ -135,6 +135,9 @@ TEST(Attribution, BucketsSumToMeasuredOverheadForEveryScheme) {
       // svc_queue_wait_s is the svc workload's request-side bucket; batch
       // apps never emit it, and it sits outside the blocked windows.
       EXPECT_EQ(rank.svc_queue_wait_s, 0.0) << to_string(scheme);
+      // membership_wait_s attributes view-exclusion episodes; with no
+      // membership service installed the bucket must stay exactly zero.
+      EXPECT_EQ(rank.membership_wait_s, 0.0) << to_string(scheme);
       EXPECT_NEAR(rank.bucket_sum_s(), rank.total_s(), 1e-9) << to_string(scheme);
       EXPECT_GE(rank.sync_wait_s, 0.0) << to_string(scheme);
       blocked += rank.blocked_total_s;

@@ -250,7 +250,7 @@ TEST(Recovery, BytesReadMatchesTheRestoredImages) {
       runtime, {.scheme = config.scheme, .interval = config.interval, .rounds = 2});
   chklib::RecoveryManager recovery(runtime, protocol);
   StoreSnapshot snapshot(runtime);
-  recovery.set_observer(&snapshot);
+  recovery.add_observer(&snapshot);
   protocol.start();
   recovery.inject_failure_at(des::TimePoint::origin() +
                                  des::Duration::seconds(normal_run().exec_time_s * 0.55),
@@ -294,7 +294,7 @@ TEST(Recovery, IncrementalChainRereadsAreCounted) {
                                                    .full_every = 3});
     chklib::RecoveryManager recovery(runtime, protocol);
     StoreSnapshot snapshot(runtime);
-    recovery.set_observer(&snapshot);
+    recovery.add_observer(&snapshot);
     protocol.start();
     recovery.inject_failure_at(des::TimePoint::origin() +
                                    des::Duration::seconds(normal_run().exec_time_s * frac),

@@ -177,6 +177,30 @@ bool is_fault_domain(const std::string& path) {
          path.find("link_fault.") != std::string::npos;
 }
 
+/// The fault-domain stream tags this codebase has already assigned, each
+/// owned by the one file allowed to fork it. Re-using a reserved tag
+/// anywhere else silently correlates a new stream with an existing fault
+/// domain — that is a finding even without a literal collision in the
+/// scanned set (the owner may be outside the scan paths).
+struct ReservedTag {
+  std::uint64_t tag;
+  std::string_view owner;  ///< path substring of the owning file
+  std::string_view domain;
+};
+constexpr ReservedTag kReservedTags[] = {
+    {0x11F0, "harness/experiment.cpp", "link weather"},
+    {0x510F, "harness/experiment.cpp", "storage weather"},
+    {0x57C0, "svc/kvstore", "request-serving workload"},
+    {0xBEA7, "harness/experiment.cpp", "membership detector phases"},
+    {0xFA11, "faultsim/injector.cpp", "failure injector"},
+};
+
+const ReservedTag* reserved_tag(std::uint64_t value) {
+  for (const ReservedTag& r : kReservedTags)
+    if (r.tag == value) return &r;
+  return nullptr;
+}
+
 void rule_unique_fork_tags(const Context& ctx, std::vector<Finding>& out) {
   struct Site {
     const SourceFile* file;
@@ -226,6 +250,15 @@ void rule_unique_fork_tags(const Context& ctx, std::vector<Finding>& out) {
       }
       if (tag) {
         by_value[*tag].push_back({&file, toks[i].line, toks[i].col, *tag});
+        if (const ReservedTag* r = reserved_tag(*tag);
+            r != nullptr && file.path.find(r->owner) == std::string::npos) {
+          out.push_back({"unique-fork-tags", file.path, toks[i].line, toks[i].col,
+                         "Rng::fork tag " + hex(*tag) +
+                             " is the reserved " + std::string(r->domain) +
+                             " stream, owned by " + std::string(r->owner) +
+                             "; pick a fresh tag so the streams cannot "
+                             "correlate"});
+        }
       } else if (argc >= 1 && is_fault_domain(file.path)) {
         out.push_back({"unique-fork-tags", file.path, toks[i].line, toks[i].col,
                        "non-literal Rng::fork tag in fault-domain code; use a "
@@ -444,7 +477,8 @@ const std::vector<RuleInfo>& all_rules() {
        "outside util/rng.*",
        &rule_no_ambient_nondeterminism},
       {"unique-fork-tags",
-       "Rng::fork stream-tag literals must be globally unique; fault-domain "
+       "Rng::fork stream-tag literals must be globally unique, reserved "
+       "fault-domain tags stay with their owning file, and fault-domain "
        "forks must use literal tags",
        &rule_unique_fork_tags},
       {"one-door-storage",
