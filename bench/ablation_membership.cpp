@@ -1,30 +1,40 @@
-// Membership ablation: failure-detection timeout vs link loss.
+// Membership ablation: failure detection quality vs link loss, binary
+// timeout against phi-accrual.
 //
 // The membership service turns failure handling from an oracle into a
 // protocol: heartbeats, suspicion quorums, view changes, election and
-// fencing. Its central knob is the detection timeout, and this sweep
-// measures both sides of that tradeoff on lossy links. A conservative
-// timeout rides out loss bursts but leaves real crashes undetected for
-// seconds; an aggressive timeout under heavy loss evicts perfectly live
-// ranks — the false-suspicion storm. The headline cell is the most
-// aggressive timeout under 20% frame loss: live ranks get evicted, fenced,
-// and must rejoin, yet every run still verifies the failure-free digest —
-// fencing keeps wrongful evictions from corrupting a commit.
+// fencing. Detection quality gates everything downstream, and this sweep
+// measures it from both sides. The binary detector's central knob is the
+// detection timeout: a conservative value rides out loss bursts but leaves
+// real crashes undetected for seconds; an aggressive one under heavy loss
+// evicts perfectly live ranks — the false-suspicion storm. The phi-accrual
+// detector (src/chklib/membership/accrual.hpp) replaces the fixed timeout
+// with a suspicion level derived from each link's observed heartbeat
+// inter-arrivals, so retransmission-stretched links widen their own
+// windows. The headline comparison: at 20% frame loss the aggressive
+// binary timeout evicts live ranks every run, phi-accrual evicts none —
+// while its real-crash detection latency stays within 2x the binary's.
 //
 // A second section kills the *coordinator* mid-round for each coordinated
-// scheme: the cluster detects the death, elects a successor (the view id
-// encodes it), re-initiates the aborted round at a higher epoch, and the
-// run completes verified — the scenario that was impossible while the
-// coordinator was immortal by construction.
+// scheme under each detector: the cluster detects the death, elects a
+// successor (the view id encodes it), re-initiates the aborted round at a
+// higher epoch, and the run completes verified — with the measured
+// detection latency (crash -> evicting view) reported per detector.
 //
-//   ./ablation_membership [--app=SOR-384] [--timeouts=0.6,1.5,4.0]
-//                         [--losses=0,0.05,0.2] [--hb-period=0.25]
-//                         [--nodes=8] [--checkpoints=0] [--intervals=5]
-//                         [--seed=2026] [--json-out=BENCH_membership.json]
-//                         [--quick]
+//   ./ablation_membership [--app=SOR-384] [--detector=both|binary|phi]
+//                         [--timeouts=0.6,1.5,4.0] [--phi-thresholds=4,8,12]
+//                         [--phi-window=32] [--losses=0,0.05,0.2]
+//                         [--hb-period=0.25] [--nodes=8] [--checkpoints=0]
+//                         [--intervals=5] [--seed=2026]
+//                         [--json-out=BENCH_membership.json] [--quick]
 //
-// --quick shrinks the sweep (2 timeouts x 2 loss points). Output is
+// --detector narrows the sweep to one detector ("both" runs the full A/B
+// grid); --phi-thresholds are suspicion thresholds in phi units (phi 8 ~
+// "the silence is < 1e-8 probable"); phi knobs combined with
+// --detector=binary are rejected rather than ignored. --quick shrinks the
+// sweep (2 timeouts x 1 threshold x 2 loss points). Output is
 // byte-identical across repeats with the same seed.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -35,6 +45,7 @@
 #include "harness/catalog.hpp"
 #include "harness/experiment.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -42,6 +53,7 @@
 namespace {
 
 using namespace chk;
+using chklib::membership::Detector;
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -91,6 +103,13 @@ const std::vector<harness::Scheme>& coordinated_schemes() {
   return schemes;
 }
 
+double mean_latency_s(const harness::ExperimentResult& r) {
+  if (r.detection_latency_ns.empty()) return 0.0;
+  double sum = 0;
+  for (const std::int64_t ns : r.detection_latency_ns) sum += static_cast<double>(ns);
+  return sum * 1e-9 / static_cast<double>(r.detection_latency_ns.size());
+}
+
 obs::json::Value cell_json(const harness::ExperimentResult& r, bool digest_ok) {
   using obs::json::Value;
   Value cv = Value::object();
@@ -98,12 +117,36 @@ obs::json::Value cell_json(const harness::ExperimentResult& r, bool digest_ok) {
   cv.set("exec_s", Value::number(r.exec_time_s));
   cv.set("heartbeats_sent", Value::number(r.heartbeats_sent));
   cv.set("suspicions", Value::number(r.suspicions));
+  cv.set("suspicions_cleared", Value::number(r.suspicions_cleared));
   cv.set("views_established", Value::number(r.views_established));
   cv.set("evictions", Value::number(r.evictions));
   cv.set("wrongful_evictions", Value::number(r.wrongful_evictions));
   cv.set("rejoins", Value::number(r.rejoins));
   cv.set("crashes", Value::number(r.membership_crashes));
   cv.set("forced_recoveries", Value::number(r.forced_recoveries));
+  cv.set("detections", Value::number(r.detections));
+  // Exact per-detection latencies plus the same log-spaced bins the
+  // "membership/detection_latency_s" metric exports, so the bench JSON and
+  // the obs histogram agree bucket for bucket.
+  Value lats = Value::array();
+  std::vector<std::uint64_t> bins(
+      static_cast<std::size_t>(harness::kDetectLatMaxExp - harness::kDetectLatMinExp) + 2,
+      0);
+  double lat_max = 0;
+  for (const std::int64_t ns : r.detection_latency_ns) {
+    const double s = static_cast<double>(ns) * 1e-9;
+    lats.push_back(Value::number(s));
+    if (s > lat_max) lat_max = s;
+    ++bins[obs::LogHistogram::bucket_of(static_cast<std::uint64_t>(ns < 0 ? 0 : ns),
+                                        harness::kDetectLatMinExp,
+                                        harness::kDetectLatMaxExp)];
+  }
+  cv.set("detection_latency_s", std::move(lats));
+  Value bin_array = Value::array();
+  for (const std::uint64_t b : bins) bin_array.push_back(Value::number(b));
+  cv.set("detection_lat_counts", std::move(bin_array));
+  cv.set("detection_lat_mean_s", Value::number(mean_latency_s(r)));
+  cv.set("detection_lat_max_s", Value::number(lat_max));
   cv.set("aborted_rounds", Value::number(std::uint64_t{r.aborted_rounds}));
   cv.set("committed_rounds", Value::number(std::uint64_t{r.committed_rounds}));
   cv.set("retransmits", Value::number(r.retransmits));
@@ -111,6 +154,14 @@ obs::json::Value cell_json(const harness::ExperimentResult& r, bool digest_ok) {
   cv.set("invariant_violations", Value::number(r.invariant_violations));
   return cv;
 }
+
+/// One grid row: a detector point (binary timeout or phi threshold) at one
+/// loss rate, across the five schemes.
+struct GridRow {
+  Detector detector = Detector::kBinaryTimeout;
+  double knob = 0;  ///< detect_timeout_s (binary) or phi threshold (phi)
+  double loss = 0;
+};
 
 }  // namespace
 
@@ -120,11 +171,37 @@ int main(int argc, char** argv) {
 
   const std::string app_label = cli.get("app", "SOR-384");
   std::vector<double> timeouts;
+  std::vector<double> thresholds;
   std::vector<double> losses;
   double hb_period = 0.25;
+  long phi_window = 32;
+  bool run_binary = true;
+  bool run_phi = true;
   try {
+    const std::string detector = cli.get("detector", "both");
+    if (detector == "binary") {
+      run_phi = false;
+    } else if (detector == "phi") {
+      run_binary = false;
+    } else if (detector != "both") {
+      throw std::invalid_argument("--detector: expected \"both\", \"binary\" or \"phi\", got \"" +
+                                  detector + "\"");
+    }
+    if (!run_phi) {
+      for (const char* flag : {"phi-thresholds", "phi-window"}) {
+        if (cli.has(flag)) {
+          throw std::invalid_argument(std::string("--") + flag +
+                                      " needs --detector=phi or both (the binary "
+                                      "detector has no phi knobs)");
+        }
+      }
+    }
     timeouts = parse_doubles(cli, "timeouts", quick ? "0.6,4.0" : "0.6,1.5,4.0",
                              1e-3, 1e3);
+    thresholds = parse_doubles(cli, "phi-thresholds", quick ? "8" : "4,8,12",
+                               1e-3, 1e3);
+    phi_window = cli.get_int("phi-window", 32);
+    if (phi_window <= 0) throw std::invalid_argument("--phi-window must be positive");
     losses = parse_doubles(cli, "losses", quick ? "0,0.2" : "0,0.05,0.2", 0.0, 1.0);
     hb_period = cli.get_nonneg_double("hb-period", 0.25);
     for (double t : timeouts) {
@@ -155,60 +232,101 @@ int main(int argc, char** argv) {
   const harness::ExperimentResult normal = harness::run_normal(base);
   base.interval = des::Duration::seconds(normal.exec_time_s / intervals);
 
-  // Section 1: detection-timeout x link-loss sweep, detector always on.
-  std::vector<harness::ExperimentResult> results(timeouts.size() * losses.size() *
-                                                 sweep_schemes().size());
+  auto make_membership = [&](Detector detector, double knob) {
+    chklib::membership::MembershipConfig membership;
+    membership.hb_period = des::Duration::seconds(hb_period);
+    membership.detector = detector;
+    if (detector == Detector::kBinaryTimeout) {
+      membership.detect_timeout = des::Duration::seconds(knob);
+    } else {
+      // Phi keeps the lax default timeout as its warm-up bootstrap; the
+      // steady-state aggressiveness comes from the threshold, not a
+      // hand-tuned timeout — that is the point of the comparison.
+      membership.accrual.threshold_milli =
+          static_cast<std::int64_t>(knob * 1000.0);
+      membership.accrual.window = static_cast<std::uint32_t>(phi_window);
+    }
+    return membership;
+  };
+
+  // Section 1: detector x knob x link-loss grid, detector always on.
+  std::vector<GridRow> grid;
+  if (run_binary) {
+    for (double timeout : timeouts) {
+      for (double loss : losses) {
+        grid.push_back({Detector::kBinaryTimeout, timeout, loss});
+      }
+    }
+  }
+  if (run_phi) {
+    for (double threshold : thresholds) {
+      for (double loss : losses) {
+        grid.push_back({Detector::kPhiAccrual, threshold, loss});
+      }
+    }
+  }
+  std::vector<harness::ExperimentResult> results(grid.size() * sweep_schemes().size());
   {
     std::vector<std::future<harness::ExperimentResult>> pending;
     pending.reserve(results.size());
-    for (double timeout : timeouts) {
-      for (double loss : losses) {
-        for (harness::Scheme scheme : sweep_schemes()) {
-          harness::ExperimentConfig config = base;
-          config.scheme = scheme;
-          chklib::membership::MembershipConfig membership;
-          membership.detect_timeout = des::Duration::seconds(timeout);
-          membership.hb_period = des::Duration::seconds(hb_period);
-          config.membership = membership;
-          if (loss > 0.0) {
-            chklib::LinkFaultConfig faults;
-            faults.drop = loss;
-            faults.duplicate = loss / 2;
-            faults.corrupt = loss / 4;
-            config.link_faults = faults;
-          }
-          pending.push_back(std::async(std::launch::async, [config] {
-            return harness::run_experiment(config);
-          }));
+    for (const GridRow& row : grid) {
+      for (harness::Scheme scheme : sweep_schemes()) {
+        harness::ExperimentConfig config = base;
+        config.scheme = scheme;
+        config.membership = make_membership(row.detector, row.knob);
+        if (row.loss > 0.0) {
+          chklib::LinkFaultConfig faults;
+          faults.drop = row.loss;
+          faults.duplicate = row.loss / 2;
+          faults.corrupt = row.loss / 4;
+          config.link_faults = faults;
         }
+        pending.push_back(std::async(std::launch::async, [config] {
+          return harness::run_experiment(config);
+        }));
       }
     }
     for (std::size_t i = 0; i < results.size(); ++i) results[i] = pending[i].get();
   }
 
-  // Section 2: coordinator killed mid-run, moderate timeout, clean links.
-  // One strike, aimed at whoever the current elected coordinator is.
-  std::vector<harness::ExperimentResult> kills(coordinated_schemes().size());
+  // Section 2: coordinator killed mid-run, clean links, one strike aimed
+  // at whoever the current elected coordinator is — once per detector, so
+  // the JSON carries the real-crash detection-latency A/B.
+  std::vector<Detector> kill_detectors;
+  if (run_binary) kill_detectors.push_back(Detector::kBinaryTimeout);
+  if (run_phi) kill_detectors.push_back(Detector::kPhiAccrual);
+  std::vector<harness::ExperimentResult> kills(kill_detectors.size() *
+                                               coordinated_schemes().size());
+  const double kill_timeout =
+      timeouts.size() > 1 ? timeouts[timeouts.size() / 2] : timeouts.front();
+  const double kill_threshold =
+      thresholds.size() > 1 ? thresholds[thresholds.size() / 2] : thresholds.front();
   {
-    const double kill_timeout =
-        timeouts.size() > 1 ? timeouts[timeouts.size() / 2] : timeouts.front();
     std::vector<std::future<harness::ExperimentResult>> pending;
     pending.reserve(kills.size());
-    for (harness::Scheme scheme : coordinated_schemes()) {
-      harness::ExperimentConfig config = base;
-      config.scheme = scheme;
-      chklib::membership::MembershipConfig membership;
-      membership.detect_timeout = des::Duration::seconds(kill_timeout);
-      membership.hb_period = des::Duration::seconds(hb_period);
-      config.membership = membership;
-      faultsim::FaultPlan plan;
-      plan.mtbf = des::Duration::seconds(normal.exec_time_s * 0.4);
-      plan.max_failures = 1;
-      plan.target_coordinator = true;
-      config.faults = plan;
-      pending.push_back(std::async(std::launch::async, [config] {
-        return harness::run_experiment(config);
-      }));
+    for (Detector detector : kill_detectors) {
+      for (harness::Scheme scheme : coordinated_schemes()) {
+        harness::ExperimentConfig config = base;
+        config.scheme = scheme;
+        config.membership = make_membership(
+            detector, detector == Detector::kBinaryTimeout ? kill_timeout
+                                                           : kill_threshold);
+        if (detector == Detector::kPhiAccrual) {
+          // If the strike lands before the accrual windows warm up, phi
+          // falls back to its bootstrap timeout. Give it the same bootstrap
+          // binary runs with, so the latency A/B compares detectors rather
+          // than warm-up defaults.
+          config.membership->detect_timeout = des::Duration::seconds(kill_timeout);
+        }
+        faultsim::FaultPlan plan;
+        plan.mtbf = des::Duration::seconds(normal.exec_time_s * 0.4);
+        plan.max_failures = 1;
+        plan.target_coordinator = true;
+        config.faults = plan;
+        pending.push_back(std::async(std::launch::async, [config] {
+          return harness::run_experiment(config);
+        }));
+      }
     }
     for (std::size_t i = 0; i < kills.size(); ++i) kills[i] = pending[i].get();
   }
@@ -221,50 +339,78 @@ int main(int argc, char** argv) {
     all_ok = all_ok && r.digest == normal.digest && r.invariant_violations == 0;
   }
 
-  std::vector<std::string> header{"timeout", "loss"};
+  // The headline A/B: wrongful evictions at the highest loss point, the
+  // most aggressive binary timeout against every phi threshold.
+  const double max_loss = *std::max_element(losses.begin(), losses.end());
+  std::uint64_t binary_aggressive_wrongful = 0;
+  std::uint64_t phi_wrongful_at_max_loss = 0;
+  {
+    std::size_t index = 0;
+    for (const GridRow& row : grid) {
+      for (std::size_t s = 0; s < sweep_schemes().size(); ++s) {
+        const harness::ExperimentResult& r = results[index++];
+        if (row.loss != max_loss) continue;
+        if (row.detector == Detector::kBinaryTimeout && row.knob == timeouts.front()) {
+          binary_aggressive_wrongful += r.wrongful_evictions;
+        }
+        if (row.detector == Detector::kPhiAccrual) {
+          phi_wrongful_at_max_loss += r.wrongful_evictions;
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> header{"detector", "knob", "loss"};
   for (harness::Scheme scheme : sweep_schemes()) header.emplace_back(to_string(scheme));
   util::Table table(header);
   std::size_t index = 0;
-  for (double timeout : timeouts) {
-    for (double loss : losses) {
-      std::vector<std::string> row{util::Table::fixed(timeout, 1),
-                                   util::Table::fixed(loss, 2)};
-      for (std::size_t s = 0; s < sweep_schemes().size(); ++s) {
-        const harness::ExperimentResult& r = results[index++];
-        row.push_back(util::format("{} ev={} wr={} rj={}",
-                                   util::Table::fixed(r.exec_time_s, 1), r.evictions,
-                                   r.wrongful_evictions, r.rejoins));
-      }
-      table.add_row(std::move(row));
+  for (const GridRow& gr : grid) {
+    std::vector<std::string> row{
+        chklib::membership::to_string(gr.detector),
+        util::Table::fixed(gr.knob, 1), util::Table::fixed(gr.loss, 2)};
+    for (std::size_t s = 0; s < sweep_schemes().size(); ++s) {
+      const harness::ExperimentResult& r = results[index++];
+      row.push_back(util::format("{} ev={} wr={} rj={}",
+                                 util::Table::fixed(r.exec_time_s, 1), r.evictions,
+                                 r.wrongful_evictions, r.rejoins));
     }
+    table.add_row(std::move(row));
   }
   std::fputs(
       table
           .render(util::format(
-              "{} on {} nodes with the membership detector on (hb={}s; exec "
-              "time s, evictions, wrongful evictions, rejoins; aggressive "
-              "timeouts under loss evict live ranks, which are fenced and "
-              "rejoin; digests + invariants verified: {})",
+              "{} on {} nodes, detector A/B (hb={}s; knob = detection timeout "
+              "s for binary, suspicion threshold phi for phi; exec time s, "
+              "evictions, wrongful evictions, rejoins per scheme). Aggressive "
+              "binary timeouts under loss evict live ranks — fenced, rejoined, "
+              "answer preserved — where phi-accrual adapts and evicts none; "
+              "digests + invariants verified: {})",
               app_label, nodes, util::Table::fixed(hb_period, 2),
               all_ok ? "yes" : "NO"))
           .c_str(),
       stdout);
 
-  std::vector<std::string> kill_header{"scheme", "exec_s", "views", "evictions",
-                                       "forced", "aborted", "digest"};
+  std::vector<std::string> kill_header{"detector", "scheme",  "exec_s", "views",
+                                       "evictions", "detect_s", "forced", "digest"};
   util::Table kill_table(kill_header);
-  for (const harness::ExperimentResult& r : kills) {
-    kill_table.add_row({std::string(to_string(r.scheme)),
-                        util::Table::fixed(r.exec_time_s, 1),
-                        std::to_string(r.views_established),
-                        std::to_string(r.evictions),
-                        std::to_string(r.forced_recoveries),
-                        std::to_string(r.aborted_rounds),
-                        r.digest == normal.digest ? "ok" : "BAD"});
+  index = 0;
+  for (Detector detector : kill_detectors) {
+    for (std::size_t s = 0; s < coordinated_schemes().size(); ++s) {
+      const harness::ExperimentResult& r = kills[index++];
+      kill_table.add_row({chklib::membership::to_string(detector),
+                          std::string(to_string(r.scheme)),
+                          util::Table::fixed(r.exec_time_s, 1),
+                          std::to_string(r.views_established),
+                          std::to_string(r.evictions),
+                          util::Table::fixed(mean_latency_s(r), 2),
+                          std::to_string(r.forced_recoveries),
+                          r.digest == normal.digest ? "ok" : "BAD"});
+    }
   }
   std::fputs(kill_table
-                 .render("Coordinator killed mid-run: the cluster detects the "
-                         "death, elects a successor and the run completes "
+                 .render("Coordinator killed mid-run per detector: the cluster "
+                         "detects the death (detect_s = crash to evicting "
+                         "view), elects a successor and the run completes "
                          "verified")
                  .c_str(),
              stdout);
@@ -276,28 +422,40 @@ int main(int argc, char** argv) {
   doc.set("nodes", Value::number(std::uint64_t{nodes}));
   doc.set("seed", Value::number(seed));
   doc.set("hb_period_s", Value::number(hb_period));
+  doc.set("phi_window", Value::number(std::uint64_t{static_cast<std::uint64_t>(phi_window)}));
   doc.set("normal_exec_s", Value::number(normal.exec_time_s));
   doc.set("all_verified", Value::boolean(all_ok));
+  doc.set("binary_aggressive_wrongful", Value::number(binary_aggressive_wrongful));
+  doc.set("phi_wrongful_at_max_loss", Value::number(phi_wrongful_at_max_loss));
   Value row_array = Value::array();
   index = 0;
-  for (double timeout : timeouts) {
-    for (double loss : losses) {
-      Value entry = Value::object();
-      entry.set("detect_timeout_s", Value::number(timeout));
-      entry.set("loss", Value::number(loss));
-      Value cell_array = Value::array();
-      for (std::size_t s = 0; s < sweep_schemes().size(); ++s) {
-        const harness::ExperimentResult& r = results[index++];
-        cell_array.push_back(cell_json(r, r.digest == normal.digest));
-      }
-      entry.set("cells", std::move(cell_array));
-      row_array.push_back(std::move(entry));
+  for (const GridRow& gr : grid) {
+    Value entry = Value::object();
+    entry.set("detector", Value::string(chklib::membership::to_string(gr.detector)));
+    if (gr.detector == Detector::kBinaryTimeout) {
+      entry.set("detect_timeout_s", Value::number(gr.knob));
+    } else {
+      entry.set("phi_threshold", Value::number(gr.knob));
     }
+    entry.set("loss", Value::number(gr.loss));
+    Value cell_array = Value::array();
+    for (std::size_t s = 0; s < sweep_schemes().size(); ++s) {
+      const harness::ExperimentResult& r = results[index++];
+      cell_array.push_back(cell_json(r, r.digest == normal.digest));
+    }
+    entry.set("cells", std::move(cell_array));
+    row_array.push_back(std::move(entry));
   }
   doc.set("rows", std::move(row_array));
   Value kill_array = Value::array();
-  for (const harness::ExperimentResult& r : kills) {
-    kill_array.push_back(cell_json(r, r.digest == normal.digest));
+  index = 0;
+  for (Detector detector : kill_detectors) {
+    for (std::size_t s = 0; s < coordinated_schemes().size(); ++s) {
+      const harness::ExperimentResult& r = kills[index++];
+      Value kv = cell_json(r, r.digest == normal.digest);
+      kv.set("detector", Value::string(chklib::membership::to_string(detector)));
+      kill_array.push_back(std::move(kv));
+    }
   }
   doc.set("coordinator_kill", std::move(kill_array));
   const std::string path = cli.get("json-out", "BENCH_membership.json");

@@ -16,6 +16,7 @@
 //              [--link-delay=0] [--link-delay-mean=0.001] [--transport]
 //              [--io-error=0] [--io-degrade=1] [--bitrot=0] [--keep-depth=0]
 //              [--detect-timeout=0] [--hb-period=0.25] [--target-coordinator]
+//              [--detector=binary|phi] [--phi-threshold=8] [--phi-window=32]
 //              [--json-out=BENCH_campaign.json] [--quick]
 //
 // --intervals sets the checkpoint interval to normal_exec/intervals;
@@ -34,6 +35,11 @@
 // --hb-period setting the beacon period and --target-coordinator aiming
 // every strike at the elected coordinator; the detector needs the
 // reliable transport, so combining it with --no-transport is rejected.
+// --detector picks how suspicion forms: "binary" (fixed timeout, the
+// default) or "phi" (accrual detection adapting to the observed heartbeat
+// inter-arrivals), with --phi-threshold (suspicion level, phi units) and
+// --phi-window (inter-arrival samples); phi knobs on the binary detector
+// are rejected rather than ignored.
 // --quick shrinks the sweep for smoke testing
 // (1 app, 2 MTBF points, 2 runs). Every run verifies the application
 // digest against the failure-free baseline; the output is byte-identical
@@ -128,12 +134,42 @@ int main(int argc, char** argv) {
     keep_depth = static_cast<std::uint32_t>(depth);
     const double detect_timeout = cli.get_nonneg_double("detect-timeout", 0.0);
     const double hb_period = cli.get_nonneg_double("hb-period", 0.25);
+    const std::string detector_name = cli.get("detector", "binary");
+    const auto detector = chklib::membership::parse_detector(detector_name);
+    if (detector != chklib::membership::Detector::kPhiAccrual) {
+      // Same discipline as get_prob: a phi knob on the binary detector is a
+      // silently-ignored flag waiting to mislead — reject it loudly.
+      for (const char* flag : {"phi-threshold", "phi-window"}) {
+        if (cli.has(flag)) {
+          throw std::invalid_argument(std::string("--") + flag +
+                                      " needs --detector=phi (the binary "
+                                      "detector has no phi knobs)");
+        }
+      }
+    }
     if (detect_timeout > 0) {
       chklib::membership::MembershipConfig m;
       m.detect_timeout = des::Duration::seconds(detect_timeout);
       m.hb_period = des::Duration::seconds(hb_period);
+      m.detector = detector;
+      if (detector == chklib::membership::Detector::kPhiAccrual) {
+        const double threshold = cli.get_nonneg_double("phi-threshold", 8.0);
+        if (threshold <= 0) {
+          throw std::invalid_argument("--phi-threshold must be positive");
+        }
+        const long window = cli.get_int("phi-window", 32);
+        if (window <= 0) {
+          throw std::invalid_argument("--phi-window must be positive");
+        }
+        m.accrual.threshold_milli = static_cast<std::int64_t>(threshold * 1000.0);
+        m.accrual.window = static_cast<std::uint32_t>(window);
+      }
       m.validate(nodes);
       membership = m;
+    } else if (cli.has("detector") && detector_name != "binary") {
+      throw std::invalid_argument(
+          "--detector=phi needs --detect-timeout > 0 to arm the membership "
+          "service (the detector has nothing to run on otherwise)");
     }
   } catch (const std::invalid_argument& err) {
     std::fprintf(stderr, "campaign: %s\n", err.what());
@@ -286,6 +322,22 @@ int main(int argc, char** argv) {
   doc.set("hb_period_s",
           Value::number(membership.has_value() ? membership->hb_period.to_seconds()
                                                : 0.0));
+  doc.set("detector",
+          Value::string(membership.has_value()
+                            ? chklib::membership::to_string(membership->detector)
+                            : "off"));
+  doc.set("phi_threshold",
+          Value::number(
+              membership.has_value() &&
+                      membership->detector == chklib::membership::Detector::kPhiAccrual
+                  ? static_cast<double>(membership->accrual.threshold_milli) / 1000.0
+                  : 0.0));
+  doc.set("phi_window",
+          Value::number(
+              membership.has_value() &&
+                      membership->detector == chklib::membership::Detector::kPhiAccrual
+                  ? std::uint64_t{membership->accrual.window}
+                  : std::uint64_t{0}));
   doc.set("target_coordinator", Value::boolean(target_coordinator));
   doc.set("all_verified", Value::boolean(all_verified));
   Value row_array = Value::array();

@@ -13,16 +13,27 @@
 //
 //   ./svc_latency [--nodes=8] [--rates=200,400] [--mtbfs=0,1.5]
 //                 [--horizon=4] [--interval=0.8] [--max-failures=2]
+//                 [--membership] [--detector=binary|phi] [--detect-timeout=0.6]
+//                 [--hb-period=0.25] [--phi-threshold=8] [--phi-window=32]
 //                 [--seed=2026] [--json-out=BENCH_svc.json] [--quick]
 //
 // --rates are per-rank arrival rates (Hz); --mtbfs are crash-process MTBFs
-// in seconds, 0 = fault-free. --quick shrinks the sweep to one rate and
-// {fault-free, one faulty} points. Output is byte-identical across repeats
-// with the same seed.
+// in seconds, 0 = fault-free. --membership puts the cluster-membership
+// service under the latency lens: every sweep cell runs heartbeat
+// detection during the request traffic (crashes are *detected*, not
+// oracle-reported), and a second section kills the elected coordinator
+// mid-traffic for every scheme — one view change, measured detection
+// latency, and the membership_wait attribution bucket keeping the
+// blocked-time partition exact. --detector picks binary or phi-accrual
+// suspicion (phi knobs with --detector=binary are rejected). --quick
+// shrinks the sweep to one rate and {fault-free, one faulty} points.
+// Output is byte-identical across repeats with the same seed.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -98,9 +109,46 @@ int main(int argc, char** argv) {
 
   std::vector<double> rates;
   std::vector<double> mtbfs;
+  std::optional<chklib::membership::MembershipConfig> membership;
   try {
     rates = parse_list("--rates", cli.get("rates", quick ? "300" : "200,400"), 1.0, 1e6);
     mtbfs = parse_list("--mtbfs", cli.get("mtbfs", "0,1.5"), 0.0, 1e9);
+    const bool membership_on = cli.get_bool("membership", false);
+    if (!membership_on) {
+      for (const char* flag :
+           {"detector", "detect-timeout", "hb-period", "phi-threshold", "phi-window"}) {
+        if (cli.has(flag)) {
+          throw std::invalid_argument(std::string("--") + flag +
+                                      " needs --membership (there is no detector "
+                                      "to configure without it)");
+        }
+      }
+    } else {
+      chklib::membership::MembershipConfig m;
+      m.detector = chklib::membership::parse_detector(cli.get("detector", "binary"));
+      if (m.detector != chklib::membership::Detector::kPhiAccrual) {
+        for (const char* flag : {"phi-threshold", "phi-window"}) {
+          if (cli.has(flag)) {
+            throw std::invalid_argument(std::string("--") + flag +
+                                        " needs --detector=phi (the binary "
+                                        "detector has no phi knobs)");
+          }
+        }
+      } else {
+        const double threshold = cli.get_nonneg_double("phi-threshold", 8.0);
+        if (threshold <= 0) throw std::invalid_argument("--phi-threshold must be positive");
+        const long window = cli.get_int("phi-window", 32);
+        if (window <= 0) throw std::invalid_argument("--phi-window must be positive");
+        m.accrual.threshold_milli = static_cast<std::int64_t>(threshold * 1000.0);
+        m.accrual.window = static_cast<std::uint32_t>(window);
+      }
+      // Aggressive by default: the svc horizon is seconds, so detection at
+      // the lax 2 s default would dominate every faulty cell's tail. The
+      // links are clean here — storms need loss — so 0.6 s is safe.
+      m.detect_timeout = des::Duration::seconds(cli.get_nonneg_double("detect-timeout", 0.6));
+      m.hb_period = des::Duration::seconds(cli.get_nonneg_double("hb-period", 0.25));
+      membership = m;
+    }
   } catch (const std::invalid_argument& err) {
     std::fprintf(stderr, "svc_latency: %s\n", err.what());
     return 2;
@@ -113,6 +161,14 @@ int main(int argc, char** argv) {
   if (nodes < 1 || nodes > 64 || horizon <= 0 || interval <= 0) {
     std::fprintf(stderr, "svc_latency: --nodes in [1,64], --horizon/--interval > 0\n");
     return 2;
+  }
+  if (membership.has_value()) {
+    try {
+      membership->validate(nodes);
+    } catch (const std::invalid_argument& err) {
+      std::fprintf(stderr, "svc_latency: %s\n", err.what());
+      return 2;
+    }
   }
 
   svc::SvcParams base_params;
@@ -147,6 +203,7 @@ int main(int argc, char** argv) {
           config.interval = des::Duration::seconds(interval);
           config.checkpoints = 0;  // keep checkpointing until the service drains
           config.seed = seed;
+          config.membership = membership;
           if (mtbf > 0) {
             faultsim::FaultPlan crashes;
             crashes.mtbf = des::Duration::seconds(mtbf);
@@ -166,6 +223,51 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = pending[i].get();
   }
 
+  // Coordinator kill under traffic (--membership only): rank 0 — the
+  // elected coordinator of the initial view — dies at mid-horizon while
+  // requests flow, for every scheme at the first arrival rate. The
+  // cluster must *detect* the death (one view change), and the
+  // kMembershipWait episode must keep the per-rank blocked-time partition
+  // exact, so these runs carry the obs tracer.
+  std::vector<Cell> kill_cells;
+  if (membership.has_value()) {
+    kill_cells.resize(columns);
+    std::vector<std::future<Cell>> pending;
+    pending.reserve(columns);
+    for (const harness::Scheme scheme : sweep_schemes()) {
+      svc::SvcParams params = base_params;
+      params.arrival_hz = rates.front();
+      params.sink = std::make_shared<svc::SvcMetrics>();
+      harness::ExperimentConfig config;
+      config.label = util::format("svc-kill-{}hz", rates.front());
+      config.app = svc::make_svc(params);
+      config.scheme = scheme;
+      config.interval = des::Duration::seconds(interval);
+      config.checkpoints = 0;
+      config.seed = seed;
+      config.membership = membership;
+      config.observe = true;
+      config.failure = harness::FailureSpec{
+          des::TimePoint::origin() + des::Duration::seconds(horizon * 0.5), 0};
+      pending.push_back(std::async(std::launch::async, [config, params] {
+        Cell cell;
+        cell.result = harness::run_experiment(config);
+        cell.metrics = *params.sink;
+        return cell;
+      }));
+    }
+    for (std::size_t i = 0; i < columns; ++i) kill_cells[i] = pending[i].get();
+  }
+  // Exactness of the attribution partition: every rank's bucket sum must
+  // equal its total (the obs_test tolerance).
+  auto partition_exact = [](const Cell& cell) {
+    if (!cell.result.obs.has_value()) return false;
+    for (const obs::RankBuckets& rank : cell.result.obs->attribution.ranks) {
+      if (std::fabs(rank.bucket_sum_s() - rank.total_s()) > 1e-9) return false;
+    }
+    return true;
+  };
+
   bool all_ok = true;
   {
     std::size_t index = 0;
@@ -178,6 +280,13 @@ int main(int argc, char** argv) {
                    cell.metrics.completed == cell.metrics.issued;
         }
       }
+    }
+    for (const Cell& cell : kill_cells) {
+      all_ok = all_ok && cell.result.digest == references.front() &&
+               cell.result.invariant_violations == 0 &&
+               cell.metrics.completed == cell.metrics.issued &&
+               cell.result.membership_crashes == 1 &&
+               cell.result.views_established >= 1 && partition_exact(cell);
     }
   }
 
@@ -217,6 +326,44 @@ int main(int argc, char** argv) {
           .c_str(),
       stdout);
 
+  if (!kill_cells.empty()) {
+    util::Table kill_table({"scheme", "p50/p99/p999 ms", "views", "detect_s",
+                            "mwait_s", "partition", "digest"});
+    for (const Cell& cell : kill_cells) {
+      const obs::HistogramSnapshot snap = latency_snapshot(cell.metrics);
+      const double detect_s = cell.result.detection_latency_ns.empty()
+                                  ? 0.0
+                                  : static_cast<double>(
+                                        cell.result.detection_latency_ns.front()) *
+                                        1e-9;
+      const double mwait = cell.result.obs.has_value()
+                               ? cell.result.obs->attribution.total.membership_wait_s
+                               : 0.0;
+      kill_table.add_row(
+          {std::string(to_string(cell.result.scheme)),
+           util::format("{}/{}/{}",
+                        util::Table::fixed(obs::histogram_quantile(snap, 0.50) * 1e3, 2),
+                        util::Table::fixed(obs::histogram_quantile(snap, 0.99) * 1e3, 1),
+                        util::Table::fixed(obs::histogram_quantile(snap, 0.999) * 1e3, 1)),
+           std::to_string(cell.result.views_established),
+           util::Table::fixed(detect_s, 2), util::Table::fixed(mwait, 2),
+           partition_exact(cell) ? "exact" : "BROKEN",
+           cell.result.digest == references.front() ? "ok" : "BAD"});
+    }
+    std::fputs(
+        kill_table
+            .render(util::format(
+                "Coordinator (rank 0) killed at {} s under {} Hz traffic, {} "
+                "detector: the cluster detects the death mid-traffic (one view "
+                "change), tail latency absorbs detection + recovery, and the "
+                "membership_wait bucket keeps the per-rank blocked-time "
+                "partition exact",
+                util::Table::fixed(horizon * 0.5, 1), util::Table::fixed(rates.front(), 0),
+                chklib::membership::to_string(membership->detector)))
+            .c_str(),
+        stdout);
+  }
+
   using obs::json::Value;
   Value doc = Value::object();
   doc.set("table", Value::string("svc_latency"));
@@ -225,6 +372,18 @@ int main(int argc, char** argv) {
   doc.set("horizon_s", Value::number(horizon));
   doc.set("interval_s", Value::number(interval));
   doc.set("max_failures", Value::number(std::uint64_t{max_failures}));
+  doc.set("membership", Value::boolean(membership.has_value()));
+  doc.set("detector",
+          Value::string(membership.has_value()
+                            ? chklib::membership::to_string(membership->detector)
+                            : "off"));
+  doc.set("detect_timeout_s",
+          Value::number(membership.has_value()
+                            ? membership->detect_timeout.to_seconds()
+                            : 0.0));
+  doc.set("hb_period_s",
+          Value::number(membership.has_value() ? membership->hb_period.to_seconds()
+                                               : 0.0));
   doc.set("all_verified", Value::boolean(all_ok));
   Value row_array = Value::array();
   index = 0;
@@ -291,6 +450,16 @@ int main(int argc, char** argv) {
         cv.set("bytes_written", Value::number(cell.result.bytes_written));
         cv.set("local_checkpoints", Value::number(cell.result.local_checkpoints));
         cv.set("committed_rounds", Value::number(std::uint64_t{cell.result.committed_rounds}));
+        if (membership.has_value()) {
+          cv.set("heartbeats_sent", Value::number(cell.result.heartbeats_sent));
+          cv.set("suspicions", Value::number(cell.result.suspicions));
+          cv.set("suspicions_cleared", Value::number(cell.result.suspicions_cleared));
+          cv.set("views_established", Value::number(cell.result.views_established));
+          cv.set("evictions", Value::number(cell.result.evictions));
+          cv.set("wrongful_evictions", Value::number(cell.result.wrongful_evictions));
+          cv.set("detections", Value::number(cell.result.detections));
+          cv.set("membership_crashes", Value::number(cell.result.membership_crashes));
+        }
         cv.set("digest_ok", Value::boolean(cell.result.digest == references[r]));
         cv.set("invariant_violations", Value::number(cell.result.invariant_violations));
         cell_array.push_back(std::move(cv));
@@ -300,6 +469,38 @@ int main(int argc, char** argv) {
     }
   }
   doc.set("rows", std::move(row_array));
+  if (!kill_cells.empty()) {
+    Value kill_array = Value::array();
+    for (const Cell& cell : kill_cells) {
+      const obs::HistogramSnapshot snap = latency_snapshot(cell.metrics);
+      Value kv = Value::object();
+      kv.set("scheme", Value::string(std::string(to_string(cell.result.scheme))));
+      kv.set("exec_s", Value::number(cell.result.exec_time_s));
+      kv.set("lat_p50_s", Value::number(obs::histogram_quantile(snap, 0.50)));
+      kv.set("lat_p99_s", Value::number(obs::histogram_quantile(snap, 0.99)));
+      kv.set("lat_p999_s", Value::number(obs::histogram_quantile(snap, 0.999)));
+      kv.set("views_established", Value::number(cell.result.views_established));
+      kv.set("evictions", Value::number(cell.result.evictions));
+      kv.set("wrongful_evictions", Value::number(cell.result.wrongful_evictions));
+      kv.set("detections", Value::number(cell.result.detections));
+      kv.set("membership_crashes", Value::number(cell.result.membership_crashes));
+      kv.set("forced_recoveries", Value::number(cell.result.forced_recoveries));
+      Value lats = Value::array();
+      for (const std::int64_t ns : cell.result.detection_latency_ns) {
+        lats.push_back(Value::number(static_cast<double>(ns) * 1e-9));
+      }
+      kv.set("detection_latency_s", std::move(lats));
+      kv.set("membership_wait_s",
+             Value::number(cell.result.obs.has_value()
+                               ? cell.result.obs->attribution.total.membership_wait_s
+                               : 0.0));
+      kv.set("partition_exact", Value::boolean(partition_exact(cell)));
+      kv.set("digest_ok", Value::boolean(cell.result.digest == references.front()));
+      kv.set("invariant_violations", Value::number(cell.result.invariant_violations));
+      kill_array.push_back(std::move(kv));
+    }
+    doc.set("coordinator_kill", std::move(kill_array));
+  }
   const std::string path = cli.get("json-out", "BENCH_svc.json");
   obs::write_text_file(path, doc.dump() + "\n");
   std::printf("\nWrote %s\n", path.c_str());

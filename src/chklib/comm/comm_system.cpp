@@ -159,6 +159,23 @@ void CommSystem::send_control(Rank src, Rank dst, ControlMsg msg) {
                                [this, dst, msg] { arrive_raw_control(dst, msg); });
 }
 
+void CommSystem::send_control_datagram(Rank src, Rank dst, ControlMsg msg) {
+  if (rank_down(src)) return;  // zombie background writer / stale timer
+  msg.incarnation = incarnation_;
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::EventKind::kControlSend, static_cast<std::uint16_t>(src),
+                     machine_->sim().now().to_nanos(), 0, static_cast<std::uint32_t>(dst));
+  }
+  ++control_messages_;
+  control_bytes_ += kControlWireBytes;
+  if (transport_ != nullptr) {
+    transport_->send_datagram(src, dst, msg);
+    return;
+  }
+  machine_->network().transfer(src, dst, kControlWireBytes, xplorer::Traffic::kControl,
+                               [this, dst, msg] { arrive_raw_control(dst, msg); });
+}
+
 void CommSystem::flush_all() {
   for (auto& ep : endpoints_) {
     ep->flush();

@@ -88,6 +88,14 @@ class CommSystem {
   /// overhead" the paper measures).
   void send_control(Rank src, Rank dst, ControlMsg msg);
 
+  /// Fire-and-forget control transmission: unsequenced, unacked, never
+  /// retransmitted. Heartbeat beacons use this so a stalled FIFO stream
+  /// (one lost data frame under RTO backoff) cannot head-of-line-block
+  /// liveness signals into multi-second false silences. Over the raw
+  /// (transport-less) path it behaves exactly like send_control — that
+  /// path never retransmits anything anyway.
+  void send_control_datagram(Rank src, Rank dst, ControlMsg msg);
+
   /// Recovery support: stale-incarnation messages in flight are dropped on
   /// arrival after this is bumped.
   void bump_incarnation() noexcept {

@@ -48,7 +48,7 @@ std::uint64_t Transport::checksum_of(const Frame& frame) {
       }
     }
     if ((env.payload.size() & 7u) != 0) mix(word);
-  } else if (frame.kind == FrameKind::kControl) {
+  } else if (frame.kind == FrameKind::kControl || frame.kind == FrameKind::kDatagram) {
     mix(static_cast<std::uint64_t>(frame.msg.kind));
     mix(static_cast<std::uint64_t>(frame.msg.src));
     mix(frame.msg.epoch);
@@ -75,6 +75,19 @@ void Transport::send_control(Rank src, Rank dst, const ControlMsg& msg) {
   frame.dst = dst;
   frame.msg = msg;
   submit(std::move(frame));
+}
+
+void Transport::send_datagram(Rank src, Rank dst, const ControlMsg& msg) {
+  // No sequence number, no sender state, no RTO: one physical copy on the
+  // wire, delivered iff the link lets it through.
+  Frame frame;
+  frame.kind = FrameKind::kDatagram;
+  frame.src = src;
+  frame.dst = dst;
+  frame.msg = msg;
+  frame.checksum = checksum_of(frame);
+  ++stats_.datagrams_sent;
+  transmit_frame(frame);
 }
 
 void Transport::submit(Frame frame) {
@@ -112,7 +125,8 @@ void Transport::transmit_frame(const Frame& frame) {
 void Transport::on_frame_arrival(Frame frame) {
   // The test hook models a link that eats specific control frames; it sits
   // below the fault model so retransmitted copies are re-evaluated.
-  if (frame.kind == FrameKind::kControl && drop_filter_ && drop_filter_(frame.msg)) {
+  if ((frame.kind == FrameKind::kControl || frame.kind == FrameKind::kDatagram) &&
+      drop_filter_ && drop_filter_(frame.msg)) {
     return;
   }
   if (faults_ != nullptr) {
@@ -156,6 +170,11 @@ void Transport::process_frame(Frame frame) {
   }
   if (frame.kind == FrameKind::kAck) {
     handle_ack(frame);
+    return;
+  }
+  if (frame.kind == FrameKind::kDatagram) {
+    // Unsequenced plane: no dedup, no reorder buffer, no ack.
+    hand_up(std::move(frame));
     return;
   }
   const LinkKey link{frame.src, frame.dst};

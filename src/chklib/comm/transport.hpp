@@ -21,6 +21,17 @@
 // recovers them. Every data frame triggers a cumulative ack; acks are
 // unsequenced, unacked, and themselves subject to link faults.
 //
+// Datagram plane: send_datagram() puts a control message on the wire with
+// no sequence number, no ack and no retransmission — delivered if it
+// survives the link, silently gone otherwise. Heartbeat beacons ride this
+// plane: a stale beacon is worthless (the next one is due in one period),
+// and retransmitting it through the FIFO stream would head-of-line-block
+// behind any stalled data frame, manufacturing multi-second false
+// silences out of ordinary loss — exactly the artifact a failure detector
+// must not see. Link faults (drop/duplicate/corrupt/partition) apply to
+// datagrams like any other frame; corruption is caught by the checksum
+// and the frame is simply lost.
+//
 // The transport is incarnation-agnostic: it delivers exactly-once FIFO
 // frames and lets the hand-up callbacks (CommSystem) apply the recovery
 // incarnation filter, exactly where the raw path applied it.
@@ -51,6 +62,7 @@ struct TransportConfig {
 
 struct TransportStats {
   std::uint64_t data_frames = 0;      ///< first transmissions (app + control)
+  std::uint64_t datagrams_sent = 0;   ///< unsequenced fire-and-forget frames
   std::uint64_t retransmits = 0;      ///< frames re-sent on RTO expiry
   std::uint64_t dups_suppressed = 0;  ///< duplicate data frames discarded
   std::uint64_t corrupt_detected = 0; ///< checksum mismatches discarded
@@ -95,12 +107,16 @@ class Transport {
   void send_app(Envelope env);
   /// Submit one control message for reliable in-order delivery.
   void send_control(Rank src, Rank dst, const ControlMsg& msg);
+  /// Fire-and-forget: one unsequenced control frame, no ack, no
+  /// retransmit. Survives the link or vanishes. For idempotent freshness
+  /// signals (heartbeats) that must never head-of-line-block.
+  void send_datagram(Rank src, Rank dst, const ControlMsg& msg);
 
   [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
  private:
-  enum class FrameKind : std::uint8_t { kApp, kControl, kAck };
+  enum class FrameKind : std::uint8_t { kApp, kControl, kAck, kDatagram };
 
   /// One transport PDU. `src`/`dst` always name the DATA direction of the
   /// link; ack frames travel dst -> src.

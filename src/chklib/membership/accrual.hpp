@@ -1,0 +1,145 @@
+// Phi-accrual failure detection (Hayashibara-style), integer-exact.
+//
+// The binary detector (service.hpp) suspects any member silent for longer
+// than a fixed detect_timeout. That knob cannot be tuned per-link: under
+// the lossy-link model a retransmission burst can silence a perfectly live
+// rank for seconds, and an aggressive timeout turns every burst into a
+// wrongful eviction (the false-suspicion storm the membership bench
+// measures). The accrual detector replaces the binary verdict with a
+// *suspicion level* phi derived from the observed heartbeat inter-arrival
+// distribution: each (observer, subject) pair keeps a fixed-size ring of
+// inter-arrival samples, and phi grows with how improbable the current
+// silence is under that history. Links that are slow or jittery earn wide
+// windows automatically; quiet links keep tight ones — detection adapts
+// where a hand-tuned timeout cannot (Hayashibara et al., "The phi accrual
+// failure detector", SRDS 2004).
+//
+// Determinism discipline: everything is integer math. Samples are stored
+// in microseconds, mean/variance come from running sums, the standard
+// deviation is an integer square root, and phi is computed in milli-phi
+// fixed point from the Gaussian Chernoff tail bound
+//
+//   P(silence >= t) <= exp(-z^2 / 2),  z = (t - mean) / stddev
+//   phi(t) = -log10 P  =>  phi = z^2 * log10(e) / 2 = 0.21714724 * z^2
+//
+// so phi_milli = z_milli^2 * 217147 / 1e9 with z in milli units. The bound
+// is monotone in z, needs only the sample mean and variance, and involves
+// no floating point — the chklint duration-arithmetic rule applies to this
+// file like any other (Duration values only ever meet integers).
+//
+// Warm-up: with fewer than min_samples inter-arrivals the distribution is
+// meaningless, so the window falls back to a plain bootstrap interval
+// (binary semantics) until it has learned one. A minimum-stddev floor
+// keeps near-perfect links (variance ~ 0 in a deterministic simulator)
+// from hair-triggering on the first scheduling wobble.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace chk::chklib::membership {
+
+struct AccrualConfig {
+  /// Ring capacity: how many recent inter-arrival samples shape the
+  /// distribution. Bigger = steadier estimates, slower adaptation.
+  std::uint32_t window = 32;
+  /// Warm-up: below this many samples phi falls back to bootstrap_timeout
+  /// (binary semantics) instead of a meaningless two-sample distribution.
+  std::uint32_t min_samples = 8;
+  /// Suspicion threshold in milli-phi (8000 = phi 8, the classic default:
+  /// the current silence is less than 1e-8 probable under the history).
+  std::int64_t threshold_milli = 8000;
+  /// Floor on the estimated stddev. Zero = auto (hb_period / 4 when the
+  /// membership service owns the config). Quiet links in a deterministic
+  /// simulator can measure variance ~ 0; without a floor the first
+  /// contention wobble would cross any threshold.
+  des::Duration min_stddev = des::Duration::zero();
+  /// Binary timeout used while a window is still warming up. Zero = auto
+  /// (the service substitutes its detect_timeout).
+  des::Duration bootstrap = des::Duration::zero();
+
+  /// Throws std::invalid_argument on nonsense values (window outside
+  /// [min_samples, 1024], min_samples < 2, threshold <= 0, negative
+  /// durations).
+  void validate() const;
+};
+
+/// Integer square root: floor(sqrt(v)), exact for 0 <= v <= 2^62 (every
+/// caller clamps its radicand well below that; negative v returns 0).
+[[nodiscard]] std::int64_t isqrt64(std::int64_t v) noexcept;
+
+/// One (observer, subject) inter-arrival estimator. The window owns its
+/// own "last arrival" clock so a caller can restart the silence gap (view
+/// changes, recovery restarts) without forging a sample.
+class AccrualWindow {
+ public:
+  /// Samples are clamped to this bound (microseconds) so the running
+  /// sum-of-squares stays inside int64 for any permitted window size.
+  static constexpr std::int64_t kMaxSampleUs = 60'000'000;  // 60 s
+  /// Gaps below this (microseconds) are duplicate-delivery noise — the
+  /// beacon rides an unsequenced datagram plane, so link-level duplicates
+  /// arrive microseconds apart — and are not recorded as samples.
+  static constexpr std::int64_t kMinSampleUs = 1'000;  // 1 ms
+
+  /// A heartbeat arrived: record now - last_arrival as an inter-arrival
+  /// sample (evicting the oldest once the ring is full) and restart the
+  /// silence gap. The first arrival after a reset only starts the clock.
+  void heard(const AccrualConfig& cfg, des::TimePoint now);
+
+  /// Forget every sample and the arrival clock (subject evicted/rejoined:
+  /// stale pre-fence samples must not poison phi). The next heartbeat
+  /// starts a fresh history.
+  void reset() noexcept;
+
+  /// Restart only the silence gap (e.g. after a rollback restart every
+  /// rank resumes at once): keeps the learned distribution, forgets the
+  /// artificial gap the restart created. Also (re)starts the arrival clock
+  /// so silence accrues even against a subject never heard from.
+  void restart_gap(des::TimePoint now) noexcept;
+
+  /// Suspicion level in milli-phi at time `now`. Warm-up: 0 at/below the
+  /// bootstrap interval, exactly `threshold_milli` above it.
+  [[nodiscard]] std::int64_t phi_milli(const AccrualConfig& cfg,
+                                       des::TimePoint now) const noexcept;
+
+  /// The silence at which phi crosses the threshold: mean + z* stddev,
+  /// where z* solves z^2 * 0.21714724 = threshold. This is the detector's
+  /// current effective timeout — the deadman fallback and sweep cadence
+  /// derive from it. During warm-up it is the bootstrap interval.
+  [[nodiscard]] des::Duration implied_timeout(const AccrualConfig& cfg) const noexcept;
+
+  [[nodiscard]] std::size_t samples() const noexcept { return ring_.size(); }
+  [[nodiscard]] bool warmed_up(const AccrualConfig& cfg) const noexcept {
+    return ring_.size() >= cfg.min_samples;
+  }
+  /// Sample mean / stddev / max in microseconds (integer-floored; stddev
+  /// before the envelope floors). Exposed for tests and bench reporting.
+  [[nodiscard]] std::int64_t mean_us() const noexcept;
+  [[nodiscard]] std::int64_t stddev_us() const noexcept;
+  [[nodiscard]] std::int64_t max_sample_us() const noexcept;
+
+ private:
+  /// The deviation scale phi divides by: the sample stddev floored by
+  /// cfg.min_stddev AND by twice the window's worst observed deviation
+  /// (max sample - mean). The latter is the heavy-tail guard: beacon gaps
+  /// under loss are geometric, not Gaussian, and a naive z-score wildly
+  /// overstates how improbable a gap slightly beyond a quiet window's
+  /// history is. Clean links (max == mean) are unaffected.
+  [[nodiscard]] std::int64_t floored_stddev_us(const AccrualConfig& cfg) const noexcept;
+
+  std::vector<std::int64_t> ring_;  ///< inter-arrival samples, microseconds
+  std::size_t head_ = 0;            ///< next slot to overwrite once full
+  std::uint32_t capacity_ = 0;      ///< cfg.window at first use
+  std::int64_t sum_us_ = 0;
+  std::int64_t sum_sq_us_ = 0;
+  des::TimePoint last_arrival_;
+  bool clock_running_ = false;
+};
+
+/// Effective milli-phi z* for a threshold: isqrt(threshold * 1e9 / 217147)
+/// in milli units. Exposed so benches can report the implied z.
+[[nodiscard]] std::int64_t phi_threshold_z_milli(std::int64_t threshold_milli) noexcept;
+
+}  // namespace chk::chklib::membership

@@ -17,6 +17,17 @@ namespace {
 
 }  // namespace
 
+Detector parse_detector(const std::string& text) {
+  if (text == "binary") return Detector::kBinaryTimeout;
+  if (text == "phi") return Detector::kPhiAccrual;
+  throw std::invalid_argument("--detector: expected \"binary\" or \"phi\", got \"" +
+                              text + "\"");
+}
+
+const char* to_string(Detector d) noexcept {
+  return d == Detector::kPhiAccrual ? "phi" : "binary";
+}
+
 void MembershipConfig::validate(std::size_t num_ranks) const {
   if (num_ranks == 0 || num_ranks > 64) {
     throw std::invalid_argument("membership: member bitmaps support 1..64 ranks");
@@ -33,6 +44,7 @@ void MembershipConfig::validate(std::size_t num_ranks) const {
   if (suspect_quorum == 0) {
     throw std::invalid_argument("membership: suspect_quorum must be at least 1");
   }
+  if (detector == Detector::kPhiAccrual) accrual.validate();
 }
 
 MembershipService::MembershipService(Runtime& runtime, RecoveryManager& recovery,
@@ -69,6 +81,22 @@ void MembershipService::start() {
   suspects_.assign(num_ranks_, std::vector<bool>(num_ranks_, false));
   excluded_since_.assign(num_ranks_, now);
   episode_open_.assign(num_ranks_, false);
+  beacon_epoch_.assign(num_ranks_, 0);
+  rejoin_seq_.assign(num_ranks_, 0);
+  crash_at_.assign(num_ranks_, now);
+
+  // Resolve the accrual autos against the service's own knobs and prime
+  // the per-pair silence clocks so even a rank that dies before its first
+  // beacon accrues suspicion.
+  acc_ = cfg_.accrual;
+  if (acc_.min_stddev == des::Duration::zero()) acc_.min_stddev = cfg_.hb_period / 4;
+  if (acc_.bootstrap == des::Duration::zero()) acc_.bootstrap = cfg_.detect_timeout;
+  if (cfg_.detector == Detector::kPhiAccrual) {
+    accrual_.assign(num_ranks_, std::vector<AccrualWindow>(num_ranks_));
+    for (auto& row : accrual_) {
+      for (auto& w : row) w.restart_gap(now);
+    }
+  }
 
   // The stream's only draws: one heartbeat phase per rank, in rank order, so
   // the membership RNG consumption is schedule-independent by construction.
@@ -81,7 +109,7 @@ void MembershipService::start() {
   // beacon so a sweep never races its own just-sent heartbeat.
   for (Rank r = 0; r < num_ranks_; ++r) {
     rt_->sim().schedule_after(des::Duration::nanos(phase_ns_[r]),
-                              [this, r] { heartbeat_tick(r); });
+                              [this, r] { heartbeat_tick(r, 0); });
     rt_->sim().schedule_after(des::Duration::nanos(phase_ns_[r]) + cfg_.hb_period / 2,
                               [this, r] { sweep_tick(r); });
   }
@@ -133,16 +161,56 @@ void MembershipService::end_exclusion(Rank r) {
   }
 }
 
-void MembershipService::heartbeat_tick(Rank r) {
+void MembershipService::heartbeat_tick(Rank r, std::uint32_t epoch) {
+  // A stale epoch means this chain was orphaned by a rejoin re-phase.
+  if (epoch != beacon_epoch_[r]) return;
   if (!down_.contains(r)) {
     for (Rank q = 0; q < num_ranks_; ++q) {
       if (q == r) continue;
       ++stats_.heartbeats_sent;
-      rt_->comm().send_control(
+      // Beacons are datagrams: a stale heartbeat is worthless (the next is
+      // one period away), and the FIFO stream would head-of-line-block it
+      // behind any stalled data frame — manufacturing multi-second false
+      // silences out of ordinary loss.
+      rt_->comm().send_control_datagram(
           r, q, ControlMsg{.kind = ControlKind::kHeartbeat, .src = r, .view = view_});
     }
   }
-  rt_->sim().schedule_after(cfg_.hb_period, [this, r] { heartbeat_tick(r); });
+  rt_->sim().schedule_after(cfg_.hb_period, [this, r, epoch] { heartbeat_tick(r, epoch); });
+}
+
+void MembershipService::rephase_beacon(Rank r) {
+  // Deterministic but decorrelated from the pre-eviction schedule: hash
+  // the start()-drawn phase with the rejoin ordinal (no RNG draws — the
+  // membership stream must stay schedule-independent).
+  const std::uint32_t epoch = ++beacon_epoch_[r];
+  std::uint64_t state = static_cast<std::uint64_t>(phase_ns_[r]) +
+                        0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(++rejoin_seq_[r]);
+  const auto period_ns = static_cast<std::uint64_t>(cfg_.hb_period.to_nanos());
+  const auto offset_ns = static_cast<std::int64_t>(util::splitmix64(state) % period_ns);
+  rt_->sim().schedule_after(des::Duration::nanos(offset_ns),
+                            [this, r, epoch] { heartbeat_tick(r, epoch); });
+}
+
+bool MembershipService::suspicious(Rank r, Rank m, des::TimePoint now) const {
+  if (cfg_.detector == Detector::kPhiAccrual) {
+    return accrual_[r][m].phi_milli(acc_, now) >= acc_.threshold_milli;
+  }
+  return now - last_heard_[r][m] > cfg_.detect_timeout;
+}
+
+des::Duration MembershipService::sweep_period(Rank r) const {
+  if (cfg_.detector != Detector::kPhiAccrual) return cfg_.hb_period;
+  // Track the tightest implied timeout among the ranks this observer
+  // watches: scanning at a quarter of it keeps detection latency dominated
+  // by the detector, not the scan, while clean links relax the cadence.
+  des::Duration tightest = des::Duration::max();
+  for (Rank m = 0; m < num_ranks_; ++m) {
+    if (m == r || !is_member(m)) continue;
+    tightest = std::min(tightest, accrual_[r][m].implied_timeout(acc_));
+  }
+  if (tightest == des::Duration::max()) return cfg_.hb_period;
+  return std::clamp(tightest / 4, cfg_.hb_period / 2, cfg_.hb_period * 2);
 }
 
 void MembershipService::sweep_tick(Rank r) {
@@ -156,13 +224,16 @@ void MembershipService::sweep_tick(Rank r) {
       const des::TimePoint now = rt_->sim().now();
       for (Rank m = 0; m < num_ranks_; ++m) {
         if (m == r || !is_member(m)) continue;
-        if (now - last_heard_[r][m] > cfg_.detect_timeout) {
+        if (suspicious(r, m, now)) {
           if (!suspects_[r][m]) {
             suspects_[r][m] = true;
             ++stats_.suspicions;
           }
-        } else {
+        } else if (suspects_[r][m]) {
+          // Hysteresis: the evidence receded before a quorum assembled —
+          // retract quietly instead of paying fence + rejoin.
           suspects_[r][m] = false;
+          ++stats_.suspicions_cleared;
         }
       }
       const Rank c = candidate_of(r);
@@ -182,16 +253,24 @@ void MembershipService::sweep_tick(Rank r) {
       }
     }
   }
-  rt_->sim().schedule_after(cfg_.hb_period, [this, r] { sweep_tick(r); });
+  rt_->sim().schedule_after(sweep_period(r), [this, r] { sweep_tick(r); });
 }
 
 void MembershipService::on_control(Rank dst, const ControlMsg& msg) {
   if (!started_ || detection_paused_) return;
   switch (msg.kind) {
-    case ControlKind::kHeartbeat:
-      last_heard_[dst][msg.src] = rt_->sim().now();
-      suspects_[dst][msg.src] = false;
+    case ControlKind::kHeartbeat: {
+      const des::TimePoint now = rt_->sim().now();
+      last_heard_[dst][msg.src] = now;
+      if (cfg_.detector == Detector::kPhiAccrual) {
+        accrual_[dst][msg.src].heard(acc_, now);
+      }
+      if (suspects_[dst][msg.src]) {
+        suspects_[dst][msg.src] = false;
+        ++stats_.suspicions_cleared;
+      }
       break;
+    }
     case ControlKind::kSuspect:
       // Quorum state is the (globally shared) suspicion matrix; the report's
       // arrival is what gives the candidate an event to evaluate it on.
@@ -300,11 +379,26 @@ void MembershipService::apply_view(std::uint64_t view, std::uint64_t members) {
 
   const std::uint64_t removed = previous & ~members;
   const std::uint64_t added = members & ~previous;
+  if (cfg_.detector == Detector::kPhiAccrual) {
+    // Ranks whose membership changed get a full accrual reset (pre-fence
+    // samples must not poison a rejoined subject's phi); everyone else
+    // keeps the learned distribution and merely restarts the silence gap
+    // to match the last_heard slate above.
+    const std::uint64_t changed = removed | added;
+    for (auto& row : accrual_) {
+      for (Rank m = 0; m < num_ranks_; ++m) {
+        if ((changed >> m) & 1u) row[m].reset();
+        row[m].restart_gap(now);
+      }
+    }
+  }
   Rank dead = num_ranks_;
   for (Rank r = 0; r < num_ranks_; ++r) {
     if ((removed >> r) & 1u) {
       ++stats_.evictions;
       if (down_.contains(r)) {
+        ++stats_.detections;
+        stats_.detection_latency_ns.push_back((now - crash_at_[r]).to_nanos());
         if (dead == num_ranks_) dead = r;
       } else {
         ++stats_.wrongful_evictions;
@@ -317,6 +411,9 @@ void MembershipService::apply_view(std::uint64_t view, std::uint64_t members) {
       if (fenced_.erase(r) > 0) {
         ++stats_.rejoins;
         end_exclusion(r);
+        // Decorrelate the rejoined rank's beacon from its pre-eviction
+        // schedule; observers' accrual windows for it were reset above.
+        rephase_beacon(r);
         CHK_INFO("membership", "rank {} rejoins in view {}", r, view);
         if (on_fence_) on_fence_(r, false);
       }
@@ -342,6 +439,23 @@ void MembershipService::establish() {
   if (on_view_established_) on_view_established_(view_);
 }
 
+des::Duration MembershipService::deadman_delay(Rank r) const {
+  if (cfg_.detector != Detector::kPhiAccrual) {
+    return cfg_.detect_timeout * 2 + grace();
+  }
+  // Give the slowest observer's current phi envelope twice over before
+  // forcing recovery: the widest implied timeout is the honest bound on
+  // how long legitimate detection can take. Warm-up windows report the
+  // bootstrap interval, so the pre-warm-up deadman matches binary's.
+  des::Duration widest = des::Duration::zero();
+  for (Rank obs = 0; obs < num_ranks_; ++obs) {
+    if (obs == r || down_.contains(obs)) continue;
+    widest = std::max(widest, accrual_[obs][r].implied_timeout(acc_));
+  }
+  if (widest == des::Duration::zero()) widest = cfg_.detect_timeout;
+  return widest * 2 + grace();
+}
+
 bool MembershipService::crash(Rank r) {
   if (!started_) return false;
   // A strike landing while a rollback restore is in flight stays with the
@@ -351,6 +465,7 @@ bool MembershipService::crash(Rank r) {
   if (down_.contains(r)) return true;  // already silent — nothing new to model
   ++stats_.crashes;
   down_.insert(r);
+  crash_at_[r] = rt_->sim().now();
   begin_exclusion(r);
   // A fenced rank that now really dies stays in one continuous exclusion
   // episode; it just changes character.
@@ -364,8 +479,7 @@ bool MembershipService::crash(Rank r) {
   // Deadman fallback: if the eviction quorum never assembles (e.g. the
   // detector is configured far too lax for the workload's lifetime), force
   // the rollback rather than hang the application forever.
-  const des::Duration deadman = cfg_.detect_timeout * 2 + grace();
-  rt_->sim().schedule_after(deadman, [this, r] {
+  rt_->sim().schedule_after(deadman_delay(r), [this, r] {
     if (down_.contains(r) && !recovery_->recovering()) {
       ++stats_.forced_recoveries;
       CHK_INFO("membership", "deadman: rank {} still undetected; forcing recovery", r);
@@ -399,6 +513,14 @@ void MembershipService::on_recovery_end(const RecoveryReport& report) {
     detection_paused_ = false;
     const des::TimePoint now = rt_->sim().now();
     for (auto& row : last_heard_) std::fill(row.begin(), row.end(), now);
+    if (cfg_.detector == Detector::kPhiAccrual) {
+      // The restart created an artificial silence on every link; the
+      // learned inter-arrival distributions are still valid, so only the
+      // gaps restart.
+      for (auto& row : accrual_) {
+        for (auto& w : row) w.restart_gap(now);
+      }
+    }
   });
 }
 

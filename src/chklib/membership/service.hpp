@@ -7,10 +7,12 @@
 // that gap with the architecture of pacemaker's heartbeat/crmd/fencing
 // split, scaled to the simulator:
 //
-//   detector   every rank broadcasts a periodic kHeartbeat beacon over the
-//              normal control plane (reliable transport underneath, so the
-//              lossy-link model can starve it); a per-rank sweep timer
-//              suspects any member silent for longer than detect_timeout.
+//   detector   every rank broadcasts a periodic kHeartbeat beacon as an
+//              unsequenced datagram (fire-and-forget — the lossy-link model
+//              can starve it, but a stalled FIFO stream cannot head-of-line
+//              block it); a per-rank sweep timer suspects any member whose
+//              silence the configured detector (binary timeout or
+//              phi-accrual) deems improbable.
 //   election   suspicion reports flow to the current *candidate* (the
 //              lowest member the reporter does not suspect). Once
 //              suspect_quorum distinct members suspect the same rank, the
@@ -45,20 +47,50 @@
 #include <cstdint>
 #include <functional>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "chklib/membership/accrual.hpp"
 #include "chklib/recovery/manager.hpp"
 #include "chklib/runtime.hpp"
 #include "util/rng.hpp"
 
 namespace chk::chklib::membership {
 
+/// How an observer decides a member is suspect.
+///
+///   kBinaryTimeout  silent longer than detect_timeout => suspect. Simple
+///                   and fast on clean links, but the knob is global: under
+///                   the lossy-link model (see BENCH_membership.json) a
+///                   0.6 s timeout at 20% loss wrongly evicts 12-17 *live*
+///                   ranks per run, each one a fence + discarded round +
+///                   rejoin.
+///   kPhiAccrual     suspicion accrues from the observed heartbeat
+///                   inter-arrival distribution (accrual.hpp): suspect when
+///                   phi crosses accrual.threshold_milli. Links slowed by
+///                   retransmission storms widen their own windows, so loss
+///                   stops looking like death. Suspicion is also
+///                   *hysteretic* in both modes: a suspect whose evidence
+///                   recedes (heartbeat arrives / phi drops back below
+///                   threshold) before the eviction quorum assembles is
+///                   quietly un-suspected — no fence, no view change
+///                   (counted in stats.suspicions_cleared).
+enum class Detector : std::uint8_t { kBinaryTimeout, kPhiAccrual };
+
+/// Parse a CLI detector name ("binary" | "phi"). Throws
+/// std::invalid_argument naming the accepted spellings otherwise.
+[[nodiscard]] Detector parse_detector(const std::string& text);
+[[nodiscard]] const char* to_string(Detector d) noexcept;
+
 struct MembershipConfig {
   /// Heartbeat broadcast period per rank (phase-jittered at start).
   des::Duration hb_period = des::Duration::millis(250);
-  /// A member silent for longer than this is suspected. The central
-  /// tradeoff knob: aggressive values detect real crashes fast but evict
-  /// live ranks under link loss (the false-suspicion storm regime).
+  /// kBinaryTimeout: a member silent for longer than this is suspected.
+  /// The default (2 s) is deliberately lax — BENCH_membership.json measures
+  /// the storm regime starting around 0.6 s at 20% link loss, where the
+  /// binary detector evicts live ranks every run. kPhiAccrual uses this
+  /// only as the warm-up bootstrap timeout (accrual.bootstrap = 0) and as
+  /// the base of the pre-warm-up deadman.
   des::Duration detect_timeout = des::Duration::seconds(2);
   /// Extra slack the deadman recovery fallback grants a crashed rank's
   /// eviction before forcing the rollback. Zero = auto (2x detect_timeout).
@@ -69,9 +101,17 @@ struct MembershipConfig {
   /// Stream selector forked off the experiment seed (campaign runs differ
   /// only in membership timer phases).
   std::uint64_t stream = 0;
+  /// Which failure detector drives suspicion. Binary is the default so
+  /// every pre-accrual baseline stays bit-identical.
+  Detector detector = Detector::kBinaryTimeout;
+  /// Phi-accrual tuning; consulted only when detector == kPhiAccrual.
+  /// Zero-valued min_stddev / bootstrap resolve to hb_period / 4 and
+  /// detect_timeout at start().
+  AccrualConfig accrual;
 
   /// Throws std::invalid_argument on nonsense values (num_ranks > 64,
-  /// non-positive periods, detect_timeout <= hb_period, quorum == 0).
+  /// non-positive periods, detect_timeout <= hb_period, quorum == 0,
+  /// malformed accrual config in phi mode).
   void validate(std::size_t num_ranks) const;
 };
 
@@ -85,6 +125,10 @@ struct MembershipStats {
   std::uint64_t rejoins = 0;           ///< fenced ranks re-admitted by a view
   std::uint64_t crashes = 0;           ///< fail_now strikes absorbed as silent crashes
   std::uint64_t forced_recoveries = 0; ///< deadman fallback fired (eviction stalled)
+  std::uint64_t suspicions_cleared = 0;///< suspicions retracted without a view change
+  std::uint64_t detections = 0;        ///< real crashes evicted by a quorum view
+  /// Per-detection latency (crash strike -> evicting view), in order.
+  std::vector<std::int64_t> detection_latency_ns;
 };
 
 class MembershipService final : public RecoveryObserver {
@@ -145,8 +189,24 @@ class MembershipService final : public RecoveryObserver {
 
  private:
   void on_control(Rank dst, const ControlMsg& msg);
-  void heartbeat_tick(Rank r);
+  /// Beacon chains are epoch-guarded: a rejoin re-phases the rank's beacon
+  /// by bumping its epoch (orphaning the old chain) and scheduling a fresh
+  /// one, so post-rejoin heartbeats never alias the pre-eviction schedule.
+  void heartbeat_tick(Rank r, std::uint32_t epoch);
   void sweep_tick(Rank r);
+  /// Re-phase `r`'s beacon after a rejoin. Deterministic and draw-free:
+  /// the new phase is a splitmix64 hash of the start()-drawn phase and the
+  /// rank's rejoin ordinal, so the RNG stream stays schedule-independent.
+  void rephase_beacon(Rank r);
+  /// True iff observer `r` should currently suspect member `m`.
+  [[nodiscard]] bool suspicious(Rank r, Rank m, des::TimePoint now) const;
+  /// Sweep re-arm period: hb_period for binary; for phi, tracks the
+  /// tightest implied timeout so the scan keeps pace with the detector.
+  [[nodiscard]] des::Duration sweep_period(Rank r) const;
+  /// Deadman delay for a crash of `r`: binary uses the fixed
+  /// 2 x detect_timeout + grace; phi derives it from the widest observer's
+  /// phi-implied timeout so a lax learned distribution still has a floor.
+  [[nodiscard]] des::Duration deadman_delay(Rank r) const;
   /// Quorum scan triggered at `at` (a suspicion report arrived there, or
   /// its own sweep found one); proposes iff `at` is the current candidate.
   void maybe_propose(Rank at);
@@ -186,6 +246,11 @@ class MembershipService final : public RecoveryObserver {
   std::vector<std::vector<des::TimePoint>> last_heard_;  ///< [observer][subject]
   std::vector<std::vector<bool>> suspects_;              ///< [observer][subject]
   bool detection_paused_ = false;  ///< while a rollback restore is in flight
+  AccrualConfig acc_;              ///< cfg_.accrual with autos resolved
+  std::vector<std::vector<AccrualWindow>> accrual_;      ///< [observer][subject]
+  std::vector<std::uint32_t> beacon_epoch_;  ///< guards heartbeat timer chains
+  std::vector<std::uint32_t> rejoin_seq_;    ///< re-phase ordinal per rank
+  std::vector<des::TimePoint> crash_at_;     ///< strike time (valid while down)
 
   // Ground truth + attribution episodes.
   std::set<Rank> down_;

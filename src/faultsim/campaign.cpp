@@ -78,6 +78,8 @@ RunOutcome run_one(const CampaignConfig& config, std::uint32_t run_index) {
   outcome.evictions = result.evictions;
   outcome.wrongful_evictions = result.wrongful_evictions;
   outcome.rejoins = result.rejoins;
+  outcome.suspicions_cleared = result.suspicions_cleared;
+  outcome.detections = result.detections;
   return outcome;
 }
 
@@ -149,6 +151,8 @@ obs::json::Value outcome_to_json(const RunOutcome& o) {
   v.set("evictions", Value::number(o.evictions));
   v.set("wrongful_evictions", Value::number(o.wrongful_evictions));
   v.set("rejoins", Value::number(o.rejoins));
+  v.set("suspicions_cleared", Value::number(o.suspicions_cleared));
+  v.set("detections", Value::number(o.detections));
   return v;
 }
 

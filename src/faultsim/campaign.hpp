@@ -96,6 +96,8 @@ struct RunOutcome {
   std::uint64_t evictions = 0;
   std::uint64_t wrongful_evictions = 0;
   std::uint64_t rejoins = 0;
+  std::uint64_t suspicions_cleared = 0;
+  std::uint64_t detections = 0;
 };
 
 struct CampaignSummary {

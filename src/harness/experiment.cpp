@@ -1,5 +1,6 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -70,6 +71,13 @@ obs::MetricsSnapshot build_metrics(const ExperimentResult& result, const ObsData
   reg.counter("membership/rejoins").set(result.rejoins);
   reg.counter("membership/crashes").set(result.membership_crashes);
   reg.counter("membership/forced_recoveries").set(result.forced_recoveries);
+  reg.counter("membership/suspicions_cleared").set(result.suspicions_cleared);
+  reg.counter("membership/detections").set(result.detections);
+  auto& detect_hist = reg.log_histogram("membership/detection_latency_s",
+                                        kDetectLatMinExp, kDetectLatMaxExp, 1e-9);
+  for (const std::int64_t ns : result.detection_latency_ns) {
+    detect_hist.observe(static_cast<std::uint64_t>(std::max<std::int64_t>(ns, 0)));
+  }
 
   // Stable-storage fault counters (all zero with storage faults off).
   reg.counter("storage/io_write_errors").set(result.io_write_errors);
@@ -307,6 +315,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.rejoins = ms.rejoins;
     result.membership_crashes = ms.crashes;
     result.forced_recoveries = ms.forced_recoveries;
+    result.suspicions_cleared = ms.suspicions_cleared;
+    result.detections = ms.detections;
+    result.detection_latency_ns = ms.detection_latency_ns;
   }
 
   if (protocol) {

@@ -125,6 +125,13 @@ struct ObsData {
   obs::AttributionReport attribution;
 };
 
+/// Log-histogram exponents for membership detection latency: 2^20 ns
+/// (~1 ms) .. 2^34 ns (~17 s), wide enough for aggressive phi thresholds
+/// and the laxest deadman alike. Shared by the benches so their JSON bins
+/// match the "membership/detection_latency_s" metric exactly.
+inline constexpr int kDetectLatMinExp = 20;
+inline constexpr int kDetectLatMaxExp = 34;
+
 struct ExperimentResult {
   std::string label;
   Scheme scheme = Scheme::kNone;
@@ -176,6 +183,11 @@ struct ExperimentResult {
   std::uint64_t rejoins = 0;             ///< fenced ranks re-admitted
   std::uint64_t membership_crashes = 0;  ///< failures routed through the detector
   std::uint64_t forced_recoveries = 0;   ///< dead ranks recovered by the deadman timer
+  std::uint64_t suspicions_cleared = 0;  ///< suspicions retracted without a view change
+  std::uint64_t detections = 0;          ///< real crashes evicted by a quorum view
+  /// Per-detection latency (crash -> evicting view) in ns, in order. Also
+  /// exported as the log-spaced "membership/detection_latency_s" histogram.
+  std::vector<std::int64_t> detection_latency_ns;
 
   // unreliable stable storage (all zero with storage faults off)
   std::uint64_t io_write_errors = 0;      ///< write attempts the fault model failed

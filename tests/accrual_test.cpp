@@ -1,0 +1,313 @@
+// Unit tests for the phi-accrual failure detector's estimator
+// (chklib/membership/accrual.hpp): deterministic integer phi values for a
+// pinned sample sequence, warm-up/bootstrap behavior, the minimum-stddev
+// floor, window eviction, the implied timeout, and config validation. The
+// service-level behavior (storms, hysteresis, rejoin resets) lives in
+// membership_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "chklib/membership/accrual.hpp"
+#include "des/time.hpp"
+
+namespace chk::chklib::membership {
+namespace {
+
+using des::Duration;
+using des::TimePoint;
+
+TimePoint at_ms(std::int64_t ms) {
+  return TimePoint::origin() + Duration::millis(ms);
+}
+
+AccrualConfig small_config() {
+  AccrualConfig cfg;
+  cfg.window = 8;
+  cfg.min_samples = 4;
+  cfg.threshold_milli = 8000;
+  cfg.min_stddev = Duration::millis(10);
+  cfg.bootstrap = Duration::millis(600);
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Config validation.
+// ---------------------------------------------------------------------------
+
+TEST(AccrualConfig, DefaultsValidate) { EXPECT_NO_THROW(AccrualConfig{}.validate()); }
+
+TEST(AccrualConfig, RejectsNonsense) {
+  AccrualConfig cfg;
+  cfg.min_samples = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = AccrualConfig{};
+  cfg.window = cfg.min_samples - 1;  // window must hold a warm-up's worth
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = AccrualConfig{};
+  cfg.window = 2000;  // sum-of-squares overflow guard
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = AccrualConfig{};
+  cfg.threshold_milli = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = AccrualConfig{};
+  cfg.min_stddev = Duration::millis(-1);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = AccrualConfig{};
+  cfg.bootstrap = Duration::millis(-1);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Integer square root (the only nontrivial arithmetic primitive).
+// ---------------------------------------------------------------------------
+
+TEST(Accrual, IsqrtIsExactFloor) {
+  EXPECT_EQ(isqrt64(0), 0);
+  EXPECT_EQ(isqrt64(1), 1);
+  EXPECT_EQ(isqrt64(3), 1);
+  EXPECT_EQ(isqrt64(4), 2);
+  EXPECT_EQ(isqrt64(99), 9);
+  EXPECT_EQ(isqrt64(100), 10);
+  EXPECT_EQ(isqrt64(1'000'000'000'000), 1'000'000);
+  EXPECT_EQ(isqrt64((std::int64_t{1} << 62) - 1), 2147483647);
+  // Exhaustive floor check around every square in a small range.
+  for (std::int64_t r = 1; r < 2000; ++r) {
+    EXPECT_EQ(isqrt64(r * r), r);
+    EXPECT_EQ(isqrt64(r * r - 1), r - 1);
+    EXPECT_EQ(isqrt64(r * r + 1), r);
+  }
+}
+
+TEST(Accrual, ThresholdZStarMatchesClosedForm) {
+  // z*^2 * 0.217147 = phi  =>  phi 8 crosses near z = 6.07.
+  EXPECT_EQ(phi_threshold_z_milli(8000), 6069);
+  // phi 1 crosses near z = 2.146.
+  EXPECT_EQ(phi_threshold_z_milli(1000), 2145);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-up / bootstrap.
+// ---------------------------------------------------------------------------
+
+TEST(Accrual, BootstrapBinarySemanticsBeforeWarmup) {
+  const AccrualConfig cfg = small_config();
+  AccrualWindow w;
+  w.heard(cfg, at_ms(0));  // starts the clock, no sample yet
+  w.heard(cfg, at_ms(100));
+  EXPECT_EQ(w.samples(), 1u);
+  EXPECT_FALSE(w.warmed_up(cfg));
+
+  // Below the bootstrap interval: no suspicion at all.
+  EXPECT_EQ(w.phi_milli(cfg, at_ms(100 + 600)), 0);
+  // Above it: exactly the threshold (binary semantics).
+  EXPECT_EQ(w.phi_milli(cfg, at_ms(100 + 601)), cfg.threshold_milli);
+  // The implied timeout during warm-up is the bootstrap interval.
+  EXPECT_EQ(w.implied_timeout(cfg), cfg.bootstrap);
+}
+
+TEST(Accrual, NeverHeardAccruesNothingUntilGapRestart) {
+  const AccrualConfig cfg = small_config();
+  AccrualWindow w;
+  EXPECT_EQ(w.phi_milli(cfg, at_ms(10'000)), 0);  // no clock: no suspicion
+  w.restart_gap(at_ms(0));                        // slate reset primes the clock
+  EXPECT_EQ(w.phi_milli(cfg, at_ms(601)), cfg.threshold_milli);
+}
+
+// ---------------------------------------------------------------------------
+// Pinned deterministic phi values for a fixed sample sequence.
+// ---------------------------------------------------------------------------
+
+TEST(Accrual, PinnedPhiValuesForFixedSequence) {
+  const AccrualConfig cfg = small_config();
+  AccrualWindow w;
+  // Inter-arrivals: 250, 250, 260, 240 ms -> mean 250 ms, variance 50 us^2
+  // in ms units: samples {250000, 250000, 260000, 240000} us.
+  std::int64_t t = 0;
+  w.heard(cfg, at_ms(t));
+  for (const std::int64_t gap_ms : {250, 250, 260, 240}) {
+    t += gap_ms;
+    w.heard(cfg, at_ms(t));
+  }
+  ASSERT_EQ(w.samples(), 4u);
+  ASSERT_TRUE(w.warmed_up(cfg));
+  EXPECT_EQ(w.mean_us(), 250'000);
+  // var = ((0)^2 + (0)^2 + (10ms)^2 + (10ms)^2) / 4 = 50e6 us^2 -> sd 7071 us.
+  EXPECT_EQ(w.stddev_us(), 7071);
+  EXPECT_EQ(w.max_sample_us(), 260'000);
+  // The envelope scale is the largest of sd (7071), the min_stddev floor
+  // (10 ms) and the heavy-tail guard 2 * (max - mean) = 20 ms -> 20 ms.
+
+  // Silence 250 ms = the mean: z = 0, phi = 0.
+  EXPECT_EQ(w.phi_milli(cfg, at_ms(t + 250)), 0);
+  // Silence 450 ms: z = (450-250)ms / 20ms = 10, z_milli = 10000,
+  // phi_milli = 1e8 * 217147 / 1e9 = 21714.
+  EXPECT_EQ(w.phi_milli(cfg, at_ms(t + 450)), 21'714);
+  // Silence 350 ms: z = 5, phi_milli = 25e6 * 217147 / 1e9 = 5428 — below
+  // the phi-8 threshold; the crossing sits at mean + 6.069 * 20 ms.
+  EXPECT_EQ(w.phi_milli(cfg, at_ms(t + 350)), 5'428);
+  EXPECT_LT(w.phi_milli(cfg, at_ms(t + 371)), cfg.threshold_milli);
+  EXPECT_GE(w.phi_milli(cfg, at_ms(t + 372)), cfg.threshold_milli);
+
+  // Implied timeout = mean + z* sd = 250 ms + 6.069 * 20 ms = 371.38 ms.
+  EXPECT_EQ(w.implied_timeout(cfg), Duration::micros(250'000 + 2 * 60'690));
+}
+
+TEST(Accrual, PhiGrowsMonotonicallyWithSilence) {
+  const AccrualConfig cfg = small_config();
+  AccrualWindow w;
+  std::int64_t t = 0;
+  w.heard(cfg, at_ms(t));
+  for (int i = 0; i < 6; ++i) {
+    t += 250;
+    w.heard(cfg, at_ms(t));
+  }
+  std::int64_t last = -1;
+  for (std::int64_t silence_ms = 0; silence_ms <= 2000; silence_ms += 50) {
+    const std::int64_t phi = w.phi_milli(cfg, at_ms(t + silence_ms));
+    EXPECT_GE(phi, last) << "silence " << silence_ms << " ms";
+    last = phi;
+  }
+  EXPECT_GT(last, cfg.threshold_milli);
+}
+
+// ---------------------------------------------------------------------------
+// Minimum-stddev floor: a perfectly regular link must not hair-trigger.
+// ---------------------------------------------------------------------------
+
+TEST(Accrual, MinStddevFloorsQuietLinks) {
+  AccrualConfig cfg = small_config();
+  cfg.min_stddev = Duration::millis(50);
+  AccrualWindow w;
+  std::int64_t t = 0;
+  w.heard(cfg, at_ms(t));
+  for (int i = 0; i < 4; ++i) {
+    t += 250;  // zero variance: every inter-arrival identical
+    w.heard(cfg, at_ms(t));
+  }
+  EXPECT_EQ(w.stddev_us(), 0);
+  // Without the floor a 1 ms wobble would be infinitely improbable. With
+  // it, the threshold crossing sits at mean + z* floor = 250 + 6.069*50 =
+  // ~553 ms.
+  EXPECT_LT(w.phi_milli(cfg, at_ms(t + 400)), cfg.threshold_milli);
+  EXPECT_GE(w.phi_milli(cfg, at_ms(t + 560)), cfg.threshold_milli);
+  EXPECT_EQ(w.implied_timeout(cfg), Duration::micros(250'000 + 50 * 6069));
+}
+
+// ---------------------------------------------------------------------------
+// Heavy-tail guard: an observed loss gap widens the envelope so a repeat of
+// it cannot cross the threshold.
+// ---------------------------------------------------------------------------
+
+TEST(Accrual, TailGuardAbsorbsRepeatOfWorstObservedGap) {
+  const AccrualConfig cfg = small_config();
+  AccrualWindow w;
+  std::int64_t t = 0;
+  w.heard(cfg, at_ms(t));
+  // Seven clean beats plus one 750 ms gap (two dropped beacons on a 250 ms
+  // period): mean = 2500/8 = 312.5 ms, max - mean = 437.5 ms, so the
+  // envelope scale is the tail guard 2 * 437.5 = 875 ms — far above both
+  // the sample stddev (~165 ms) and the 10 ms floor.
+  for (const std::int64_t gap_ms : {250, 250, 250, 750, 250, 250, 250, 250}) {
+    t += gap_ms;
+    w.heard(cfg, at_ms(t));
+  }
+  ASSERT_EQ(w.samples(), 8u);
+  EXPECT_EQ(w.mean_us(), 312'500);
+  EXPECT_EQ(w.max_sample_us(), 750'000);
+  // A three-beat (1 s) silence — one beat beyond the observed worst — is
+  // ordinary under 20% loss and must accrue almost nothing.
+  EXPECT_LT(w.phi_milli(cfg, at_ms(t + 1000)), 1'000);
+  // Crossing sits at mean + z* * envelope = 312.5 ms + 6.069 * 875 ms.
+  EXPECT_EQ(w.implied_timeout(cfg), Duration::micros(312'500 + 875 * 6069));
+}
+
+// ---------------------------------------------------------------------------
+// Window eviction: old samples age out, the estimate adapts.
+// ---------------------------------------------------------------------------
+
+TEST(Accrual, WindowEvictsOldestSamples) {
+  const AccrualConfig cfg = small_config();  // capacity 8
+  AccrualWindow w;
+  std::int64_t t = 0;
+  w.heard(cfg, at_ms(t));
+  for (int i = 0; i < 8; ++i) {
+    t += 100;
+    w.heard(cfg, at_ms(t));
+  }
+  EXPECT_EQ(w.samples(), 8u);
+  EXPECT_EQ(w.mean_us(), 100'000);
+  // Eight slower beats push every 100 ms sample out of the ring.
+  for (int i = 0; i < 8; ++i) {
+    t += 400;
+    w.heard(cfg, at_ms(t));
+  }
+  EXPECT_EQ(w.samples(), 8u);
+  EXPECT_EQ(w.mean_us(), 400'000);
+  EXPECT_EQ(w.stddev_us(), 0);
+  // The adapted window tolerates silence the young window would not have.
+  EXPECT_EQ(w.phi_milli(cfg, at_ms(t + 400)), 0);
+}
+
+TEST(Accrual, SamplesAreClampedToTheBound) {
+  const AccrualConfig cfg = small_config();
+  AccrualWindow w;
+  w.heard(cfg, at_ms(0));
+  w.heard(cfg, at_ms(10'000'000));  // ~2.8 h gap: clamped to 60 s
+  EXPECT_EQ(w.samples(), 1u);
+  AccrualWindow regular;
+  regular.heard(cfg, at_ms(0));
+  regular.heard(cfg, TimePoint::origin() + Duration::secs(60));
+  EXPECT_EQ(w.mean_us(), regular.mean_us());
+}
+
+// ---------------------------------------------------------------------------
+// Reset / gap restart.
+// ---------------------------------------------------------------------------
+
+TEST(Accrual, ResetForgetsHistory) {
+  const AccrualConfig cfg = small_config();
+  AccrualWindow w;
+  std::int64_t t = 0;
+  w.heard(cfg, at_ms(t));
+  for (int i = 0; i < 6; ++i) {
+    t += 250;
+    w.heard(cfg, at_ms(t));
+  }
+  ASSERT_TRUE(w.warmed_up(cfg));
+  w.reset();
+  EXPECT_EQ(w.samples(), 0u);
+  EXPECT_FALSE(w.warmed_up(cfg));
+  EXPECT_EQ(w.phi_milli(cfg, at_ms(t + 10'000)), 0);  // clock stopped too
+}
+
+TEST(Accrual, RestartGapForgivesArtificialSilence) {
+  const AccrualConfig cfg = small_config();
+  AccrualWindow w;
+  std::int64_t t = 0;
+  w.heard(cfg, at_ms(t));
+  for (int i = 0; i < 6; ++i) {
+    t += 250;
+    w.heard(cfg, at_ms(t));
+  }
+  // A long pause (e.g. rollback restart) would cross any threshold...
+  EXPECT_GT(w.phi_milli(cfg, at_ms(t + 5'000)), cfg.threshold_milli);
+  // ...but restarting the gap forgives it without forgetting the samples.
+  w.restart_gap(at_ms(t + 5'000));
+  EXPECT_EQ(w.samples(), 6u);
+  EXPECT_EQ(w.phi_milli(cfg, at_ms(t + 5'000)), 0);
+  // And the next heartbeat records the gap since the restart, not the
+  // artificial 5 s pause.
+  w.heard(cfg, at_ms(t + 5'250));
+  EXPECT_EQ(w.samples(), 7u);
+  EXPECT_EQ(w.mean_us(), 250'000);
+}
+
+}  // namespace
+}  // namespace chk::chklib::membership

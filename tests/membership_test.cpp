@@ -215,6 +215,149 @@ TEST(Membership, CoordinatorDeathMidRoundElectsSuccessor) {
 }
 
 // ---------------------------------------------------------------------------
+// Detector selection (binary vs phi-accrual).
+// ---------------------------------------------------------------------------
+
+TEST(MembershipConfig, DetectorParsingAndValidation) {
+  using chklib::membership::Detector;
+  using chklib::membership::parse_detector;
+  EXPECT_EQ(parse_detector("binary"), Detector::kBinaryTimeout);
+  EXPECT_EQ(parse_detector("phi"), Detector::kPhiAccrual);
+  EXPECT_THROW((void)parse_detector("adaptive"), std::invalid_argument);
+  EXPECT_STREQ(to_string(Detector::kBinaryTimeout), "binary");
+  EXPECT_STREQ(to_string(Detector::kPhiAccrual), "phi");
+
+  // Accrual tuning is validated only when the phi detector is selected.
+  MembershipConfig config;
+  config.accrual.threshold_milli = 0;
+  EXPECT_NO_THROW(config.validate(8));  // binary mode: accrual unused
+  config.detector = Detector::kPhiAccrual;
+  EXPECT_THROW(config.validate(8), std::invalid_argument);
+  config.accrual.threshold_milli = 8000;
+  EXPECT_NO_THROW(config.validate(8));
+}
+
+// A 20% loss storm with NO partition: every rank is live and beaconing,
+// only retransmission bursts delay heartbeats. The headline A/B — under the
+// same seed the aggressive binary timeout evicts live ranks while the phi
+// detector, which learns the loss-widened inter-arrival distribution, does
+// not. Mirrors the BENCH_membership.json pin.
+harness::ExperimentConfig loss_storm_config(Scheme scheme) {
+  auto config = membership_sor(scheme);
+  LinkFaultConfig faults;
+  faults.drop = 0.2;
+  config.link_faults = faults;
+  return config;
+}
+
+TEST(Membership, LossStormBinaryEvictsLiveRanksPhiDoesNot) {
+  auto baseline = membership_sor(Scheme::kNone);
+  const auto normal = harness::run_normal(baseline);
+  ASSERT_TRUE(normal.digest.has_value());
+
+  // Binary, aggressive 600 ms timeout: loss alone wrongly evicts.
+  auto binary = loss_storm_config(Scheme::kCoordNB);
+  MembershipConfig membership;
+  membership.hb_period = Duration::millis(250);
+  membership.detect_timeout = Duration::millis(600);
+  binary.membership = membership;
+  const auto binary_result = harness::run_experiment(binary);
+  EXPECT_GE(binary_result.wrongful_evictions, 1u);
+  EXPECT_GE(binary_result.rejoins, 1u);
+  // Hysteresis: plenty of single-observer suspicions receded before any
+  // quorum assembled — retracted without a fence or view change.
+  EXPECT_GE(binary_result.suspicions_cleared, 1u);
+  EXPECT_EQ(binary_result.membership_crashes, 0u);
+  EXPECT_EQ(binary_result.digest, normal.digest);
+  EXPECT_EQ(binary_result.invariant_violations, 0u);
+
+  // Phi at the classic threshold 8, same seed, same loss: zero evictions.
+  auto phi = loss_storm_config(Scheme::kCoordNB);
+  MembershipConfig phi_membership;
+  phi_membership.hb_period = Duration::millis(250);
+  phi_membership.detector = chklib::membership::Detector::kPhiAccrual;
+  phi.membership = phi_membership;
+  const auto phi_result = harness::run_experiment(phi);
+  EXPECT_GT(phi_result.heartbeats_sent, 0u);
+  EXPECT_EQ(phi_result.wrongful_evictions, 0u);
+  EXPECT_EQ(phi_result.evictions, 0u);
+  EXPECT_EQ(phi_result.views_established, 0u);
+  EXPECT_EQ(phi_result.membership_crashes, 0u);
+  EXPECT_EQ(phi_result.digest, normal.digest);
+  EXPECT_EQ(phi_result.invariant_violations, 0u);
+  EXPECT_GT(phi_result.invariant_checks, 0u);
+}
+
+// An aggressive phi threshold under the partition storm walks the full
+// phi-mode eviction path: fence, join petitions, accrual-window reset and
+// beacon re-phase on rejoin — and the answer still survives.
+harness::ExperimentConfig phi_storm_config(Scheme scheme) {
+  auto config = storm_config(scheme);
+  config.membership->detector = chklib::membership::Detector::kPhiAccrual;
+  config.membership->accrual.threshold_milli = 1000;  // phi 1: hair-trigger
+  return config;
+}
+
+TEST(Membership, PhiStormFencesRejoinsAndStaysDeterministic) {
+  auto baseline = membership_sor(Scheme::kNone);
+  const auto normal = harness::run_normal(baseline);
+  ASSERT_TRUE(normal.digest.has_value());
+
+  const auto config = phi_storm_config(Scheme::kCoordNBM);
+  const auto result = harness::run_experiment(config);
+  EXPECT_GT(result.suspicions, 0u);
+  EXPECT_GE(result.evictions, 1u);
+  EXPECT_GE(result.wrongful_evictions, 1u);
+  EXPECT_GE(result.rejoins, 1u);
+  EXPECT_EQ(result.membership_crashes, 0u);
+  EXPECT_EQ(result.forced_recoveries, 0u);
+  EXPECT_EQ(result.digest, normal.digest);
+  EXPECT_EQ(result.invariant_violations, 0u);
+
+  // The rejoin re-phase is draw-free: run-twice bit-identity holds.
+  const auto report = harness::check_determinism(phi_storm_config(Scheme::kCoordNBM));
+  EXPECT_TRUE(report.deterministic);
+}
+
+// ---------------------------------------------------------------------------
+// Real crash: phi detects it, within the binary detector's envelope.
+// ---------------------------------------------------------------------------
+
+TEST(Membership, PhiDetectsRealCrashWithinBinaryEnvelope) {
+  auto baseline = membership_sor(Scheme::kNone);
+  const auto normal = harness::run_normal(baseline);
+  ASSERT_TRUE(normal.digest.has_value());
+
+  const auto kill_run = [&](chklib::membership::Detector detector) {
+    auto config = membership_sor(Scheme::kCoordNB);
+    MembershipConfig membership;
+    membership.detect_timeout = Duration::millis(600);
+    membership.detector = detector;
+    config.membership = membership;
+    config.failure = harness::FailureSpec{
+        des::TimePoint::origin() + Duration::seconds(normal.exec_time_s * 0.5), 0};
+    return harness::run_experiment(config);
+  };
+
+  const auto binary = kill_run(chklib::membership::Detector::kBinaryTimeout);
+  const auto phi = kill_run(chklib::membership::Detector::kPhiAccrual);
+
+  for (const auto* result : {&binary, &phi}) {
+    EXPECT_EQ(result->membership_crashes, 1u);
+    EXPECT_EQ(result->detections, 1u);
+    ASSERT_EQ(result->detection_latency_ns.size(), 1u);
+    EXPECT_GT(result->detection_latency_ns[0], 0);
+    EXPECT_EQ(result->wrongful_evictions, 0u);
+    EXPECT_EQ(result->forced_recoveries, 0u);  // detection beat the deadman
+    EXPECT_EQ(result->digest, normal.digest);
+    EXPECT_EQ(result->invariant_violations, 0u);
+  }
+  // The learned distribution must not cost more than 2x the hand-tuned
+  // binary timeout on a real death (the acceptance envelope).
+  EXPECT_LE(phi.detection_latency_ns[0], 2 * binary.detection_latency_ns[0]);
+}
+
+// ---------------------------------------------------------------------------
 // Wiring guards.
 // ---------------------------------------------------------------------------
 
